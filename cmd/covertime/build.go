@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks"
+)
+
+// buildGraph mirrors cmd/speedup's family table; kept local so each binary
+// stays self-contained.
+func buildGraph(kind string, n int, r *manywalks.Rand) (*manywalks.Graph, int32, error) {
+	switch kind {
+	case "cycle":
+		return manywalks.NewCycle(n), 0, nil
+	case "path":
+		return manywalks.NewPath(n), 0, nil
+	case "complete":
+		return manywalks.NewComplete(n, false), 0, nil
+	case "torus2d":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return manywalks.NewTorus2D(side), 0, nil
+	case "grid3d":
+		side := int(math.Round(math.Cbrt(float64(n))))
+		return manywalks.NewGrid([]int{side, side, side}, true), 0, nil
+	case "hypercube":
+		dim := int(math.Round(math.Log2(float64(n))))
+		return manywalks.NewHypercube(dim), 0, nil
+	case "tree":
+		height := int(math.Round(math.Log2(float64(n+1)))) - 1
+		if height < 1 {
+			height = 1
+		}
+		return manywalks.NewBalancedTree(2, height), 0, nil
+	case "barbell":
+		if n%2 == 0 {
+			n++
+		}
+		g, center := manywalks.NewBarbell(n)
+		return g, center, nil
+	case "lollipop":
+		return manywalks.NewLollipop(n/2, n-n/2), 0, nil
+	case "expander":
+		m := int(math.Round(math.Sqrt(float64(n))))
+		return manywalks.NewMargulisExpander(m), 0, nil
+	case "er":
+		p := 3 * math.Log(float64(n)) / float64(n)
+		g, err := manywalks.NewConnectedErdosRenyi(n, p, r, 50)
+		return g, 0, err
+	case "regular":
+		g, err := manywalks.NewConnectedRandomRegular(n, 4, r, 200)
+		return g, 0, err
+	default:
+		return nil, 0, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

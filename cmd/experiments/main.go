@@ -1,0 +1,63 @@
+// Command experiments runs the complete reproduction suite: Table 1 plus
+// every theorem/figure/ablation experiment catalogued in DESIGN.md, printing
+// each report and exiting non-zero if any bound or shape check fails.
+//
+// Usage:
+//
+//	experiments [-quick] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"manywalks/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small graph sizes")
+	trials := flag.Int("trials", 0, "Monte Carlo trials per estimate (0 = default)")
+	seed := flag.Uint64("seed", 0, "root RNG seed (0 = default)")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	allPass := true
+
+	t1, _, err := harness.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t1.Render())
+	allPass = allPass && t1.Pass
+
+	reports, err := harness.AllExperiments(cfg)
+	for _, rep := range reports {
+		fmt.Println(rep.Render())
+		allPass = allPass && rep.Pass
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("suite finished in %.1fs — overall: ", time.Since(start).Seconds())
+	if allPass {
+		fmt.Println("PASS")
+		return
+	}
+	fmt.Println("FAIL")
+	os.Exit(1)
+}

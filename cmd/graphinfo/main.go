@@ -1,0 +1,135 @@
+// Command graphinfo prints structural and spectral statistics for a graph —
+// the quantities a user needs before choosing k-walk parameters — and can
+// export the instance in edge-list, binary, or DOT form.
+//
+// Usage:
+//
+//	graphinfo -graph expander -n 256 [-export edgelist|binary|dot] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"manywalks"
+)
+
+func buildGraph(kind string, n int, r *manywalks.Rand) (*manywalks.Graph, error) {
+	switch kind {
+	case "cycle":
+		return manywalks.NewCycle(n), nil
+	case "path":
+		return manywalks.NewPath(n), nil
+	case "complete":
+		return manywalks.NewComplete(n, false), nil
+	case "star":
+		return manywalks.NewStar(n), nil
+	case "wheel":
+		return manywalks.NewWheel(n), nil
+	case "torus2d":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return manywalks.NewTorus2D(side), nil
+	case "hypercube":
+		return manywalks.NewHypercube(int(math.Round(math.Log2(float64(n))))), nil
+	case "tree":
+		h := int(math.Round(math.Log2(float64(n+1)))) - 1
+		if h < 1 {
+			h = 1
+		}
+		return manywalks.NewBalancedTree(2, h), nil
+	case "barbell":
+		if n%2 == 0 {
+			n++
+		}
+		g, _ := manywalks.NewBarbell(n)
+		return g, nil
+	case "lollipop":
+		return manywalks.NewLollipop(n/2, n-n/2), nil
+	case "expander":
+		return manywalks.NewMargulisExpander(int(math.Round(math.Sqrt(float64(n))))), nil
+	case "er":
+		p := 3 * math.Log(float64(n)) / float64(n)
+		return manywalks.NewConnectedErdosRenyi(n, p, r, 50)
+	case "regular":
+		return manywalks.NewConnectedRandomRegular(n, 4, r, 200)
+	case "rgg":
+		radius := 2 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+		return manywalks.NewRandomGeometric(n, radius, r), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func main() {
+	kind := flag.String("graph", "torus2d", "graph family")
+	n := flag.Int("n", 256, "approximate vertex count")
+	seed := flag.Uint64("seed", 20080614, "RNG seed")
+	export := flag.String("export", "", "export format: edgelist, binary, or dot")
+	out := flag.String("o", "", "export destination (default stdout)")
+	flag.Parse()
+
+	r := manywalks.NewRand(*seed)
+	g, err := buildGraph(*kind, *n, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *export != "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		switch *export {
+		case "edgelist":
+			err = g.WriteEdgeList(w)
+		case "binary":
+			err = g.WriteBinary(w)
+		case "dot":
+			err = g.WriteDOT(w)
+		default:
+			err = fmt.Errorf("unknown export format %q", *export)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	min, max := g.DegreeStats()
+	fmt.Printf("name          %s\n", g.Name())
+	fmt.Printf("vertices      %d\n", g.N())
+	fmt.Printf("edges         %d (self-loops %d)\n", g.M(), g.SelfLoops())
+	fmt.Printf("degree        min %d, max %d\n", min, max)
+	fmt.Printf("connected     %v\n", g.IsConnected())
+	fmt.Printf("bipartite     %v\n", g.IsBipartite())
+	if g.N() <= 4096 && g.IsConnected() {
+		fmt.Printf("diameter      %d\n", g.Diameter())
+		stay := 0.0
+		if g.IsBipartite() {
+			stay = 0.5
+			fmt.Printf("walk          lazy (bipartite graph: simple walk is periodic)\n")
+		}
+		gap := manywalks.SpectralGap(g, stay, r)
+		fmt.Printf("spectral gap  %.5f (λ = %.5f)\n", gap, 1-gap)
+		if tm := manywalks.MixingTime(g, stay, nil, 40*g.N()*g.N()); tm >= 0 {
+			fmt.Printf("mixing time   %d (paper definition, worst start)\n", tm)
+		}
+	}
+	if g.N() <= 2048 && g.IsConnected() {
+		bounds, err := manywalks.ComputeBounds(g, 0, r)
+		if err == nil {
+			fmt.Printf("hmax / hmin   %.4g / %.4g\n", bounds.Hmax, bounds.Hmin)
+			fmt.Printf("Matthews      C ∈ [%.4g, %.4g]\n", bounds.MatthewsLower, bounds.MatthewsUpper)
+		}
+	}
+}

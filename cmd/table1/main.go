@@ -1,0 +1,70 @@
+// Command table1 regenerates the paper's Table 1: for each of the seven
+// graph families it measures the cover time, exact maximum hitting time,
+// paper-definition mixing time, and the k-walk speed-up sweep with regime
+// classification.
+//
+// Usage:
+//
+//	table1 [-quick] [-trials N] [-seed S] [-family key]
+//
+// Without -family all seven rows run. -quick shrinks graph sizes for a fast
+// smoke pass (the same configuration the test suite uses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"manywalks/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small graph sizes")
+	trials := flag.Int("trials", 0, "Monte Carlo trials per estimate (0 = default)")
+	seed := flag.Uint64("seed", 0, "root RNG seed (0 = default)")
+	family := flag.String("family", "", "run a single family (cycle, grid2d, grid3d, hypercube, complete, expander, errandom)")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if *family != "" {
+		fam, err := harness.FamilyByKey(*family)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		row, err := harness.RunTable1Row(fam, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("family %s: n=%d C=%s hmax=%.4g t_m=%d regime=%s\n",
+			fam.Key, row.N, row.Cover.Summary, row.Hmax, row.MixingTime,
+			row.Classification.Regime)
+		for _, p := range row.Points {
+			fmt.Printf("  k=%-4d C^k=%-24s S^k=%-8.2f S^k/k=%.2f\n",
+				p.K, p.Multi.Summary, p.Speedup, p.PerWalker)
+		}
+		return
+	}
+
+	rep, _, err := harness.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+// Package manywalks is a from-scratch Go reproduction of
+//
+//	Alon, Avin, Koucký, Kozma, Lotker, Tuttle.
+//	"Many Random Walks Are Faster Than One." SPAA 2008.
+//
+// The paper asks how much faster k independent random walks, started from a
+// common vertex, cover a graph than a single walk does, and answers with a
+// taxonomy: linear speed-up on cliques, expanders, grids, hypercubes and
+// random graphs (for k up to log n, or up to n on expanders and cliques),
+// only logarithmic speed-up on the cycle, and an exponential speed-up on the
+// barbell graph when starting at its center.
+//
+// This package is the public face of the reproduction. It re-exports the
+// graph generators for every family the paper evaluates, Monte Carlo
+// estimators for single-walk and k-walk cover times with confidence
+// intervals, exact hitting-time/Matthews-bound machinery, mixing-time
+// computation under the paper's definition, and the speed-up measurement and
+// regime classification that regenerate the paper's Table 1.
+//
+// # Quick start
+//
+//	g := manywalks.NewTorus2D(32)                  // √n × √n torus, n = 1024
+//	opts := manywalks.MCOptions{Trials: 200, Seed: 1, MaxSteps: 1 << 24}
+//	point, err := manywalks.Speedup(g, 0, 8, opts) // S^8(G)
+//	if err != nil { ... }
+//	fmt.Printf("S^8 = %.1f (C=%s, C^8=%s)\n",
+//		point.Speedup, point.Single.Summary, point.Multi.Summary)
+//
+// The full experiment suite — every table, figure and theorem check — lives
+// in the cmd/ binaries (cmd/table1, cmd/barbell, cmd/experiments, ...) and
+// in the benchmarks at the repository root; EXPERIMENTS.md records
+// paper-versus-measured outcomes.
+package manywalks

@@ -1,0 +1,87 @@
+package manywalks_test
+
+import (
+	"fmt"
+
+	"manywalks"
+)
+
+// The exact machinery produces deterministic values on small graphs:
+// the cycle's expected cover time is n(n-1)/2 from any vertex.
+func ExampleExactCoverTime() {
+	g := manywalks.NewCycle(6)
+	c, err := manywalks.ExactCoverTime(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("C(cycle_6) = %.1f\n", c)
+	// Output: C(cycle_6) = 15.0
+}
+
+// All-pairs hitting times come from one fundamental-matrix solve; on the
+// cycle h(u,v) = d(n-d) with d the cycle distance.
+func ExampleComputeHittingTimes() {
+	g := manywalks.NewCycle(5)
+	ht, err := manywalks.ComputeHittingTimes(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("h(0,1) = %.1f, h(0,2) = %.1f\n", ht.At(0, 1), ht.At(0, 2))
+	// Output: h(0,1) = 4.0, h(0,2) = 6.0
+}
+
+// Two parallel walkers already beat one on every graph; the exact k-cover
+// solver quantifies it on tiny instances.
+func ExampleExactKCoverTime() {
+	g := manywalks.NewComplete(4, false)
+	c1, _ := manywalks.ExactKCoverTime(g, 0, 1)
+	c2, _ := manywalks.ExactKCoverTime(g, 0, 2)
+	fmt.Printf("C^1 = %.2f, C^2 = %.2f, speed-up %.2f\n", c1, c2, c1/c2)
+	// Output: C^1 = 5.50, C^2 = 3.03, speed-up 1.82
+}
+
+// The graph generators build every family in the paper's Table 1.
+func ExampleNewTorus2D() {
+	g := manywalks.NewTorus2D(4)
+	fmt.Printf("%s: n=%d, m=%d, diameter=%d\n", g.Name(), g.N(), g.M(), g.Diameter())
+	// Output: torus[4 4]: n=16, m=32, diameter=4
+}
+
+// Cartesian products reproduce the standard identities; the 2-d torus is
+// the product of two cycles.
+func ExampleCartesianProduct() {
+	prod := manywalks.CartesianProduct(manywalks.NewCycle(3), manywalks.NewCycle(3))
+	fmt.Printf("n=%d, m=%d, 4-regular=%v\n", prod.N(), prod.M(), is4Regular(prod))
+	// Output: n=9, m=18, 4-regular=true
+}
+
+func is4Regular(g *manywalks.Graph) bool {
+	min, max := g.DegreeStats()
+	return min == 4 && max == 4
+}
+
+// The Kemeny constant Σ_v π(v)h(u,v) does not depend on u; on K_n it equals
+// (n-1)²/n.
+func ExampleKemenyConstant() {
+	g := manywalks.NewComplete(5, false)
+	ht, _ := manywalks.ComputeHittingTimes(g)
+	fmt.Printf("K = %.1f\n", manywalks.KemenyConstant(g, ht))
+	// Output: K = 3.2
+}
+
+// Effective resistances obey the series/parallel laws; on a cycle the two
+// arcs between antipodes act as parallel resistors.
+func ExampleEffectiveResistance() {
+	g := manywalks.NewCycle(4)
+	r, _ := manywalks.EffectiveResistance(g, 0, 2) // two 2-edge arcs in parallel
+	fmt.Printf("R = %.2f\n", r)
+	// Output: R = 1.00
+}
+
+// Mixing on the complete graph takes a single step (the paper's 1/e
+// threshold is met immediately).
+func ExampleMixingTime() {
+	g := manywalks.NewComplete(16, false)
+	fmt.Printf("t_m = %d\n", manywalks.MixingTime(g, 0, nil, 100))
+	// Output: t_m = 1
+}

@@ -1,0 +1,75 @@
+// Membership sampling: the paper cites RaWMS (ref [10]), a membership
+// service for ad-hoc networks in which a node learns random peers by
+// sending tokens on random walks — a walk longer than the mixing time stops
+// at a ≈stationary-random node, giving each node a uniform view of the
+// network without any global coordination.
+//
+// This example runs that service on a random 4-regular overlay (regular, so
+// stationary = uniform) and shows the walk-length/uniformity trade-off: the
+// chi-squared statistic of the sampled peer distribution collapses to its
+// ideal value (≈ n−1) once the walk length passes the measured mixing time,
+// and short walks produce views heavily biased toward the origin's
+// neighborhood.
+//
+// Run with:
+//
+//	go run ./examples/membership
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manywalks"
+)
+
+const (
+	peers   = 512
+	degree  = 4
+	samples = 20000
+)
+
+func chiSquared(g *manywalks.Graph, got []int32) float64 {
+	counts := make([]int, g.N())
+	for _, s := range got {
+		counts[s]++
+	}
+	expected := float64(len(got)) / float64(g.N())
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+func main() {
+	r := manywalks.NewRand(808)
+	g, err := manywalks.NewConnectedRandomRegular(peers, degree, r, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper-definition mixing time of the overlay tells us how long the
+	// sampling walks must be.
+	tm := manywalks.MixingTime(g, 0, []int32{0}, 10*peers)
+	gap := manywalks.SpectralGap(g, 0, r)
+	fmt.Printf("overlay: %s, spectral gap %.3f, mixing time t_m = %d rounds\n\n",
+		g.Name(), gap, tm)
+
+	fmt.Printf("%-10s %-14s %-30s\n", "walk len", "chi² (dof=511)", "verdict")
+	for _, L := range []int{1, 2, 4, 8, tm, 2 * tm, 4 * tm} {
+		got := manywalks.RunMembershipSampling(g, 0, samples, L,
+			manywalks.NewRandStream(909, uint64(L)))
+		chi2 := chiSquared(g, got)
+		verdict := "uniform (ideal ≈ n-1 = 511)"
+		// 99.9% quantile of chi²(511) ≈ 626.
+		if chi2 > 700 {
+			verdict = "biased toward origin"
+		}
+		fmt.Printf("%-10d %-14.0f %-30s\n", L, chi2, verdict)
+	}
+	fmt.Println("\nwalks a small multiple of the mixing time long deliver uniform membership")
+	fmt.Println("samples (t_m targets an L1 distance of 1/e — a 1/poly(n) bias needs ~2-4·t_m);")
+	fmt.Println("shorter walks leak the origin's neighborhood, exactly as the theory predicts.")
+}

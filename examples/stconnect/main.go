@@ -1,0 +1,143 @@
+// Randomized s-t connectivity: the paper's related-work section (§1.1)
+// traces its lineage to time-space trade-offs for undirected st-connectivity
+// (Broder–Karlin–Raghavan–Upfal; Barnes–Feige), where algorithms run many
+// short random walks instead of one long one.
+//
+// This example implements the one-sided Monte Carlo connectivity tester:
+// run k walks of length L from s and answer "connected to t" if any walk
+// touches t. On a yes-instance the error probability decays like
+// (1-p)^k where p is a single short walk's hit probability — so walks trade
+// off against length exactly as the k-walk cover theory predicts. The demo
+// measures that decay on a "two communities + one bridge" network, the hard
+// case for short walks, plus a disconnected control (never a false yes).
+//
+// Run with:
+//
+//	go run ./examples/stconnect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"manywalks"
+)
+
+const trialsPerSetting = 800
+
+// twoCommunities builds two expander communities of size half each, joined
+// by a single bridge edge, and returns the graph plus s (in community A)
+// and t (in community B).
+func twoCommunities(half int, seed uint64) (*manywalks.Graph, int32, int32) {
+	r := manywalks.NewRand(seed)
+	a, err := manywalks.NewConnectedRandomRegular(half, 4, r, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bGraph, err := manywalks.NewConnectedRandomRegular(half, 4, r, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := manywalks.NewGraphBuilder(2 * half)
+	for v := int32(0); v < int32(half); v++ {
+		for _, u := range a.Neighbors(v) {
+			if u > v {
+				builder.AddEdge(v, u)
+			}
+		}
+		for _, u := range bGraph.Neighbors(v) {
+			if u > v {
+				builder.AddEdge(v+int32(half), u+int32(half))
+			}
+		}
+	}
+	builder.AddEdge(0, int32(half)) // the bridge
+	return builder.Build("two-communities"), 1, int32(half) + 1
+}
+
+// test runs one k-walk connectivity test: true if any of the k length-L
+// walks from s touches t.
+func test(g *manywalks.Graph, s, t int32, k int, L int64, r *manywalks.Rand) bool {
+	for i := 0; i < k; i++ {
+		w := manywalks.NewWalker(g, s, r)
+		for step := int64(0); step < L; step++ {
+			if w.Step() == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func main() {
+	const half = 256
+	g, s, t := twoCommunities(half, 31337)
+	n := g.N()
+
+	// Walk length: short relative to the bridge-crossing hitting time, so a
+	// single walk often fails — the regime where extra walks pay off.
+	L := int64(8 * n)
+	fmt.Printf("network: %s, n=%d, bridge edge between communities\n", g.Name(), n)
+	fmt.Printf("testing s=%d (community A) against t=%d (community B), walk length L=%d\n\n", s, t, L)
+
+	fmt.Printf("%-4s %-14s %-24s\n", "k", "P[detect]", "implied per-walk p̂")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		hits := 0
+		for q := 0; q < trialsPerSetting; q++ {
+			r := manywalks.NewRandStream(2718, uint64(k)<<40|uint64(q))
+			if test(g, s, t, k, L, r) {
+				hits++
+			}
+		}
+		pDetect := float64(hits) / trialsPerSetting
+		// Invert (1-p)^k = 1 - pDetect for the single-walk hit probability.
+		var pSingle float64
+		if pDetect < 1 {
+			pSingle = 1 - math.Pow(1-pDetect, 1/float64(k))
+		} else {
+			pSingle = 1
+		}
+		fmt.Printf("%-4d %-14.3f %-24.3f\n", k, pDetect, pSingle)
+	}
+
+	// Control: genuinely disconnected input must never produce a false yes.
+	gd, sd, td := disconnected(half)
+	falseYes := 0
+	for q := 0; q < 200; q++ {
+		r := manywalks.NewRandStream(555, uint64(q))
+		if test(gd, sd, td, 16, L, r) {
+			falseYes++
+		}
+	}
+	fmt.Printf("\ndisconnected control: %d/200 false positives (one-sided error as designed)\n", falseYes)
+	fmt.Println("detection probability rises as 1-(1-p)^k: k short walks buy reliability")
+	fmt.Println("that a single walk of the same length cannot reach.")
+}
+
+// disconnected builds the same two communities without the bridge.
+func disconnected(half int) (*manywalks.Graph, int32, int32) {
+	r := manywalks.NewRand(171717)
+	a, err := manywalks.NewConnectedRandomRegular(half, 4, r, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := manywalks.NewConnectedRandomRegular(half, 4, r, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := manywalks.NewGraphBuilder(2 * half)
+	for v := int32(0); v < int32(half); v++ {
+		for _, u := range a.Neighbors(v) {
+			if u > v {
+				builder.AddEdge(v, u)
+			}
+		}
+		for _, u := range b.Neighbors(v) {
+			if u > v {
+				builder.AddEdge(v+int32(half), u+int32(half))
+			}
+		}
+	}
+	return builder.Build("two-islands"), 1, int32(half) + 1
+}

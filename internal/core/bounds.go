@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks/internal/exact"
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/rng"
+	"manywalks/internal/spectral"
+	"manywalks/internal/stats"
+)
+
+// Bounds aggregates the exact single-walk quantities the paper's theorems
+// are stated in terms of, for one graph.
+type Bounds struct {
+	N, M          int
+	Hmax, Hmin    float64 // extreme hitting times over ordered pairs
+	MatthewsLower float64 // hmin·H_{n-1}
+	MatthewsUpper float64 // hmax·H_n
+	Aleliunas     float64 // universal bound 2m(n-1) (paper ref [5])
+	Gap           float64 // g(n) = MatthewsUpper-normalized proxy; see GapOf
+	MixingTime    int     // paper's t_m (lazy walk if bipartite), -1 if truncated
+	LazyMixing    bool    // whether laziness was needed for t_m
+	Lambda        float64 // second eigenvalue magnitude of the (lazy) walk
+	SpectralGap   float64 // 1 - Lambda
+}
+
+// MaxExactBoundsVertices caps the O(n³) hitting-time computation.
+const MaxExactBoundsVertices = 3000
+
+// ComputeBounds evaluates the exact quantities for g. mixingBudget bounds
+// the distribution-evolution steps for t_m (pass 0 to skip the mixing
+// computation, which is the expensive part on slowly mixing graphs).
+// For bipartite graphs the simple walk never mixes; the lazy (stay=1/2)
+// walk is substituted and flagged.
+func ComputeBounds(g *graph.Graph, mixingBudget int, r *rng.Source) (*Bounds, error) {
+	n := g.N()
+	if n > MaxExactBoundsVertices {
+		return nil, fmt.Errorf("core: exact bounds limited to %d vertices, got %d", MaxExactBoundsVertices, n)
+	}
+	ht, err := exact.ComputeHittingTimes(g)
+	if err != nil {
+		return nil, err
+	}
+	hmax, _, _ := ht.Max()
+	hmin, _, _ := ht.Min()
+	lower, upper := exact.MatthewsBounds(ht)
+	b := &Bounds{
+		N: n, M: g.M(),
+		Hmax: hmax, Hmin: hmin,
+		MatthewsLower: lower, MatthewsUpper: upper,
+		Aleliunas:  exact.AleliunasBound(g),
+		MixingTime: -1,
+	}
+	stay := 0.0
+	if g.IsBipartite() {
+		stay = 0.5
+		b.LazyMixing = true
+	}
+	op := linalg.NewWalkOperator(g, stay)
+	b.Lambda = linalg.SecondEigenvalueMagnitude(op, 400*int(math.Log2(float64(n))+1), r)
+	b.SpectralGap = 1 - b.Lambda
+	if mixingBudget > 0 {
+		res := spectral.MixingTime(op, spectral.AllStarts(n), spectral.DefaultEpsilon, mixingBudget)
+		if !res.Truncated {
+			b.MixingTime = res.Time
+		}
+	}
+	return b, nil
+}
+
+// GapOf returns the paper's gap g(n) = C/hmax given a cover-time estimate;
+// Theorem 5 needs it to choose admissible k.
+func (b *Bounds) GapOf(coverTime float64) float64 { return coverTime / b.Hmax }
+
+// BabyMatthewsBound is Theorem 13's k-walk cover bound (e/k)·hmax·H_n.
+func (b *Bounds) BabyMatthewsBound(k int) float64 {
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	return math.E / float64(k) * b.Hmax * stats.HarmonicNumber(b.N)
+}
+
+// Theorem14Bound evaluates the paper's Theorem 14 upper bound
+//
+//	C^k ≤ (1+o(1))·C/k + (3·log k + 2·f(n))·hmax
+//
+// with the o(1) term dropped and f(n) supplied by the caller (the paper
+// requires any f ∈ ω(1); Theorem 5 instantiates f = log g(n)).
+func (b *Bounds) Theorem14Bound(coverTime float64, k int, fn float64) float64 {
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	return coverTime/float64(k) + (3*math.Log(float64(k))+2*fn)*b.Hmax
+}
+
+// Theorem5AdmissibleK returns the largest k ≤ kMax with k ≤ g(n)^{1-eps},
+// the admissible range for the near-linear speed-up of Theorem 5.
+func (b *Bounds) Theorem5AdmissibleK(coverTime float64, eps float64, kMax int) int {
+	if eps <= 0 || eps >= 1 {
+		panic("core: eps must be in (0,1)")
+	}
+	limit := math.Pow(b.GapOf(coverTime), 1-eps)
+	k := int(limit)
+	if k > kMax {
+		k = kMax
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// MixingSpeedupLowerBound is Theorem 9's guarantee S^k = Ω(k/(t_m·ln n))
+// with the constant taken as 1 — callers compare shapes, not constants.
+// It returns 0 when the mixing time is unknown.
+func (b *Bounds) MixingSpeedupLowerBound(k int) float64 {
+	if b.MixingTime <= 0 {
+		return 0
+	}
+	return float64(k) / (float64(b.MixingTime) * math.Log(float64(b.N)))
+}
+
+// CycleUpperBoundLem22 is Lemma 22's bound C^k ≤ 2n²/ln k for the cycle
+// (k ≥ 2; for k below e it returns +Inf since ln k ≤ 1 voids the bound).
+func CycleUpperBoundLem22(n, k int) float64 {
+	if k < 2 {
+		return math.Inf(1)
+	}
+	l := math.Log(float64(k))
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * float64(n) * float64(n) / l
+}
+
+// CycleSpeedupIsLogarithmic checks Theorem 6's two-sided claim on measured
+// data: the speed-up on the cycle grows with log k — concretely the fit
+// S^k ≈ a·ln k + b must have a decisively positive slope and explain the
+// data far better than a linear-in-k fit explains it.
+func CycleSpeedupIsLogarithmic(points []SpeedupPoint) (bool, stats.LinearFit, error) {
+	c, err := ClassifySpeedups(points)
+	if err != nil {
+		return false, stats.LinearFit{}, err
+	}
+	return c.Regime == RegimeLogarithmic, c.LogFit, nil
+}

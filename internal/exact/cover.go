@@ -1,0 +1,238 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+)
+
+// MaxExactCoverVertices bounds the exhaustive cover-time DP: the state space
+// is 2^n sets, so the computation is restricted to small n.
+const MaxExactCoverVertices = 18
+
+// CoverTimeFrom returns the exact expected cover time of a single random
+// walk started at src, by solving, for every visited-set S in decreasing
+// popcount order, the linear system over states (v ∈ S):
+//
+//	E[v,S] = 1 + (1/deg v) Σ_{u∈N(v)} E[u, S∪{u}]
+//
+// where E[·, V] = 0. Cost is Σ_S |S|³ ≈ 2^n·n³; callers must keep
+// n ≤ MaxExactCoverVertices.
+func CoverTimeFrom(g *graph.Graph, src int32) (float64, error) {
+	n := g.N()
+	if n > MaxExactCoverVertices {
+		return 0, fmt.Errorf("exact: cover DP limited to %d vertices, got %d", MaxExactCoverVertices, n)
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: cover time requires a connected graph")
+	}
+	full := uint32(1)<<uint(n) - 1
+	// expect[S*n + v] = E[v,S] for v ∈ S. Sets processed from full downward.
+	expect := make([]float64, (int(full)+1)*n)
+
+	// Enumerate sets grouped by descending popcount.
+	byCount := make([][]uint32, n+1)
+	for s := uint32(1); s <= full; s++ {
+		c := bits.OnesCount32(s)
+		byCount[c] = append(byCount[c], s)
+	}
+	for count := n - 1; count >= 1; count-- {
+		for _, s := range byCount[count] {
+			solveCoverSet(g, s, expect)
+		}
+	}
+	start := uint32(1) << uint(src)
+	return expect[int(start)*n+int(src)], nil
+}
+
+// solveCoverSet fills expect[S*n + v] for all v in S, assuming all strict
+// supersets of S are already solved.
+func solveCoverSet(g *graph.Graph, s uint32, expect []float64) {
+	n := g.N()
+	// Collect member vertices and their within-set index.
+	var members []int32
+	idx := make(map[int32]int)
+	for v := int32(0); v < int32(n); v++ {
+		if s&(1<<uint(v)) != 0 {
+			idx[v] = len(members)
+			members = append(members, v)
+		}
+	}
+	k := len(members)
+	a := linalg.Identity(k)
+	b := make([]float64, k)
+	for i, v := range members {
+		d := float64(g.Degree(v))
+		b[i] = 1
+		for _, u := range g.Neighbors(v) {
+			if s&(1<<uint(u)) != 0 {
+				// Stays within S: coefficient couples into the system.
+				a.Add(i, idx[u], -1/d)
+			} else {
+				// Leaves S to the known superset value.
+				sup := s | 1<<uint(u)
+				b[i] += expect[int(sup)*n+int(u)] / d
+			}
+		}
+	}
+	x, err := linalg.SolveSystem(a, b)
+	if err != nil {
+		// The system I - Q is nonsingular for any proper subset of a
+		// connected graph; failure indicates a programming error.
+		panic(fmt.Sprintf("exact: cover DP singular system for set %b: %v", s, err))
+	}
+	for i, v := range members {
+		expect[int(s)*n+int(v)] = x[i]
+	}
+}
+
+// CoverTime returns max over starting vertices of the exact expected cover
+// time — the paper's C(G) — for tiny graphs.
+func CoverTime(g *graph.Graph) (float64, error) {
+	best := 0.0
+	for v := int32(0); v < int32(g.N()); v++ {
+		c, err := CoverTimeFrom(g, v)
+		if err != nil {
+			return 0, err
+		}
+		if c > best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// KCoverTimeFrom returns the exact expected k-walk cover time from src for
+// very small graphs and k: the expected number of synchronized rounds until
+// k independent walkers started at src have jointly visited every vertex.
+// State space is n^k positions × 2^n sets; keep n^k·2^n small (n ≤ 6, k ≤ 3
+// in tests). All k tokens move in every round (the paper's parallel model).
+func KCoverTimeFrom(g *graph.Graph, src int32, k int) (float64, error) {
+	n := g.N()
+	if k < 1 {
+		return 0, fmt.Errorf("exact: k must be >= 1")
+	}
+	if k == 1 {
+		return CoverTimeFrom(g, src)
+	}
+	statesPerSet := 1
+	for i := 0; i < k; i++ {
+		statesPerSet *= n
+		if statesPerSet > 1<<15 {
+			return 0, fmt.Errorf("exact: n^k too large for the k-cover DP")
+		}
+	}
+	if n > 16 {
+		return 0, fmt.Errorf("exact: k-cover DP limited to 16 vertices")
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: cover time requires a connected graph")
+	}
+	full := uint32(1)<<uint(n) - 1
+
+	// Position tuples are mixed-radix base-n numbers of k digits.
+	decode := func(code int) []int32 {
+		out := make([]int32, k)
+		for i := 0; i < k; i++ {
+			out[i] = int32(code % n)
+			code /= n
+		}
+		return out
+	}
+	// For each set in decreasing popcount order, solve the coupled system
+	// over position tuples whose members all lie in the set. Transitions
+	// where any token exits the set land in a strictly larger (solved) set.
+	expect := make(map[uint64]float64) // key: set<<32 | code
+	key := func(s uint32, code int) uint64 { return uint64(s)<<32 | uint64(code) }
+
+	byCount := make([][]uint32, n+1)
+	for s := uint32(1); s <= full; s++ {
+		byCount[bits.OnesCount32(s)] = append(byCount[bits.OnesCount32(s)], s)
+	}
+
+	// Enumerate all joint moves of the k tokens from a tuple.
+	type move struct {
+		code int     // resulting position code
+		set  uint32  // bits newly visited
+		p    float64 // probability
+	}
+	jointMoves := func(tuple []int32) []move {
+		moves := []move{{code: 0, set: 0, p: 1}}
+		for i := 0; i < k; i++ {
+			v := tuple[i]
+			nb := g.Neighbors(v)
+			pStep := 1 / float64(len(nb))
+			radix := 1
+			for j := 0; j < i; j++ {
+				radix *= n
+			}
+			next := make([]move, 0, len(moves)*len(nb))
+			for _, m := range moves {
+				for _, u := range nb {
+					next = append(next, move{
+						code: m.code + int(u)*radix,
+						set:  m.set | 1<<uint(u),
+						p:    m.p * pStep,
+					})
+				}
+			}
+			moves = next
+		}
+		return moves
+	}
+
+	for count := n - 1; count >= 1; count-- {
+		for _, s := range byCount[count] {
+			// Enumerate valid tuples (all members in s).
+			var codes []int
+			for code := 0; code < statesPerSet; code++ {
+				tuple := decode(code)
+				ok := true
+				for _, v := range tuple {
+					if s&(1<<uint(v)) == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					codes = append(codes, code)
+				}
+			}
+			codeIdx := make(map[int]int, len(codes))
+			for i, c := range codes {
+				codeIdx[c] = i
+			}
+			a := linalg.Identity(len(codes))
+			b := make([]float64, len(codes))
+			for i, c := range codes {
+				b[i] = 1
+				for _, mv := range jointMoves(decode(c)) {
+					ns := s | mv.set
+					if ns == s {
+						a.Add(i, codeIdx[mv.code], -mv.p)
+					} else if ns == full {
+						// Absorbed: contributes nothing beyond the step.
+					} else {
+						b[i] += mv.p * expect[key(ns, mv.code)]
+					}
+				}
+			}
+			x, err := linalg.SolveSystem(a, b)
+			if err != nil {
+				return 0, fmt.Errorf("exact: k-cover DP singular at set %b: %w", s, err)
+			}
+			for i, c := range codes {
+				expect[key(s, c)] = x[i]
+			}
+		}
+	}
+	startCode := 0
+	radix := 1
+	for i := 0; i < k; i++ {
+		startCode += int(src) * radix
+		radix *= n
+	}
+	return expect[key(1<<uint(src), startCode)], nil
+}

@@ -1,0 +1,105 @@
+package exact
+
+import (
+	"fmt"
+
+	"manywalks/internal/graph"
+)
+
+// CoverTimeDistribution computes the exact distribution of the single-walk
+// cover time from start on a tiny graph: result[t] = Pr[τ = t] for
+// t = 0..maxT, by evolving the probability mass over the (visited-set,
+// position) chain. The second return value is the mass not yet absorbed by
+// maxT (Pr[τ > maxT]).
+//
+// The state space has 2^n·n entries, so the same MaxExactCoverVertices limit
+// as the expectation DP applies; the per-step cost is O(2^n·n·d̄).
+func CoverTimeDistribution(g *graph.Graph, start int32, maxT int) ([]float64, float64, error) {
+	n := g.N()
+	if n > MaxExactCoverVertices {
+		return nil, 0, fmt.Errorf("exact: distribution limited to %d vertices, got %d", MaxExactCoverVertices, n)
+	}
+	if !g.IsConnected() {
+		return nil, 0, fmt.Errorf("exact: cover distribution requires a connected graph")
+	}
+	if maxT < 0 {
+		return nil, 0, fmt.Errorf("exact: negative horizon")
+	}
+	full := uint32(1)<<uint(n) - 1
+	states := (int(full) + 1) * n
+	cur := make([]float64, states)
+	next := make([]float64, states)
+	idx := func(s uint32, v int32) int { return int(s)*n + int(v) }
+
+	dist := make([]float64, maxT+1)
+	startSet := uint32(1) << uint(start)
+	if startSet == full {
+		dist[0] = 1
+		return dist, 0, nil
+	}
+	cur[idx(startSet, start)] = 1
+	remaining := 1.0
+	for t := 1; t <= maxT; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		absorbed := 0.0
+		for s := startSet; s <= full; s++ {
+			if s&startSet == 0 || s == full {
+				continue
+			}
+			base := int(s) * n
+			for v := int32(0); v < int32(n); v++ {
+				mass := cur[base+int(v)]
+				if mass == 0 {
+					continue
+				}
+				nb := g.Neighbors(v)
+				p := mass / float64(len(nb))
+				for _, u := range nb {
+					ns := s | 1<<uint(u)
+					if ns == full {
+						absorbed += p
+					} else {
+						next[idx(ns, u)] += p
+					}
+				}
+			}
+		}
+		dist[t] = absorbed
+		remaining -= absorbed
+		cur, next = next, cur
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	return dist, remaining, nil
+}
+
+// DistributionMean returns the mean of a (possibly truncated) cover-time
+// distribution, attributing leftover mass to the horizon (a lower bound on
+// the true mean when leftover > 0).
+func DistributionMean(dist []float64, leftover float64) float64 {
+	mean := 0.0
+	for t, p := range dist {
+		mean += float64(t) * p
+	}
+	mean += leftover * float64(len(dist)-1)
+	return mean
+}
+
+// DistributionQuantile returns the smallest t with cumulative probability
+// ≥ q, or -1 if the truncated distribution never accumulates that much.
+func DistributionQuantile(dist []float64, q float64) int {
+	if q < 0 || q > 1 {
+		panic("exact: quantile out of range")
+	}
+	acc := 0.0
+	for t, p := range dist {
+		acc += p
+		if acc >= q {
+			return t
+		}
+	}
+	return -1
+}

@@ -1,0 +1,195 @@
+// Package exact computes closed-form (non-sampled) random-walk quantities on
+// moderate-size graphs: stationary distributions, all-pairs hitting times via
+// the fundamental matrix, commute times, effective resistances, Matthews'
+// cover-time bounds, and exact expected cover times for tiny graphs via
+// absorbing-chain dynamic programs. These exact values anchor the Monte
+// Carlo estimators in tests and supply the hmax/hmin columns of Table 1.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/stats"
+)
+
+// HittingTimes holds the all-pairs expected hitting times of a graph:
+// H[u][v] is the expected number of steps for a simple random walk started
+// at u to first reach v (0 on the diagonal).
+type HittingTimes struct {
+	H *linalg.Matrix
+}
+
+// ComputeHittingTimes returns all-pairs hitting times using the fundamental
+// matrix Z = (I − P + 1πᵀ)⁻¹ of the ergodic chain:
+//
+//	h(u,v) = (Z_vv − Z_uv) / π_v.
+//
+// One LU factorization gives every pair, so the cost is O(n³) total rather
+// than O(n³) per target. The graph must be connected; bipartite graphs are
+// fine because the formula needs only ergodicity of the average chain (the
+// linear system remains nonsingular and the hitting-time identity holds for
+// periodic irreducible chains as well).
+func ComputeHittingTimes(g *graph.Graph) (*HittingTimes, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("exact: empty graph")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("exact: hitting times require a connected graph")
+	}
+	op := linalg.NewWalkOperator(g, 0)
+	p := op.Dense()
+	pi := op.StationaryDistribution()
+	// A = I - P + 1πᵀ.
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -p.At(i, j) + pi[j]
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+	}
+	f, err := linalg.Factor(a)
+	if err != nil {
+		return nil, fmt.Errorf("exact: fundamental matrix is singular: %w", err)
+	}
+	z := f.Inverse()
+	h := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		zvv := z.At(v, v)
+		inv := 1 / pi[v]
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			h.Set(u, v, (zvv-z.At(u, v))*inv)
+		}
+	}
+	return &HittingTimes{H: h}, nil
+}
+
+// At returns h(u,v).
+func (ht *HittingTimes) At(u, v int32) float64 { return ht.H.At(int(u), int(v)) }
+
+// Max returns hmax = max over ordered pairs u≠v, with the arg pair.
+func (ht *HittingTimes) Max() (float64, int32, int32) {
+	n := ht.H.Rows
+	best, bu, bv := math.Inf(-1), int32(0), int32(0)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if h := ht.H.At(u, v); h > best {
+				best, bu, bv = h, int32(u), int32(v)
+			}
+		}
+	}
+	return best, bu, bv
+}
+
+// Min returns hmin = min over ordered pairs u≠v, with the arg pair.
+func (ht *HittingTimes) Min() (float64, int32, int32) {
+	n := ht.H.Rows
+	best, bu, bv := math.Inf(1), int32(0), int32(0)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if h := ht.H.At(u, v); h < best {
+				best, bu, bv = h, int32(u), int32(v)
+			}
+		}
+	}
+	return best, bu, bv
+}
+
+// MaxFrom returns max_v h(u,v) for a fixed start u.
+func (ht *HittingTimes) MaxFrom(u int32) float64 {
+	best := 0.0
+	for v := 0; v < ht.H.Rows; v++ {
+		if int32(v) != u && ht.H.At(int(u), v) > best {
+			best = ht.H.At(int(u), v)
+		}
+	}
+	return best
+}
+
+// CommuteTime returns h(u,v) + h(v,u).
+func (ht *HittingTimes) CommuteTime(u, v int32) float64 {
+	return ht.At(u, v) + ht.At(v, u)
+}
+
+// MatthewsBounds returns the cover-time sandwich of Matthews' theorem in the
+// numerically honest form: lower = hmin·H_{n-1}, upper = hmax·H_n. (The
+// paper's statement writes Hn on both sides; equality cases such as the
+// complete graph show the lower side needs H_{n-1}.)
+func MatthewsBounds(ht *HittingTimes) (lower, upper float64) {
+	n := ht.H.Rows
+	hmin, _, _ := ht.Min()
+	hmax, _, _ := ht.Max()
+	return hmin * stats.HarmonicNumber(n-1), hmax * stats.HarmonicNumber(n)
+}
+
+// AleliunasBound returns the universal cover-time upper bound
+// C(G) ≤ 2·m·(n−1) of Aleliunas, Karp, Lipton, Lovász and Rackoff (the
+// paper's reference [5]) — the bound behind the lollipop Θ(n³) worst case.
+func AleliunasBound(g *graph.Graph) float64 {
+	return 2 * float64(g.M()) * float64(g.N()-1)
+}
+
+// BabyMatthewsBound returns the paper's Theorem 13 upper bound on the k-walk
+// cover time, (e/k)·hmax·H_n, valid for k ≤ log n (the o(1) term is dropped;
+// experiments treat this as the asymptotic reference curve).
+func BabyMatthewsBound(ht *HittingTimes, k int) float64 {
+	if k < 1 {
+		panic("exact: k must be >= 1")
+	}
+	n := ht.H.Rows
+	hmax, _, _ := ht.Max()
+	return math.E / float64(k) * hmax * stats.HarmonicNumber(n)
+}
+
+// EffectiveResistance returns the effective resistance between u and v when
+// every edge is a unit resistor, computed by solving the grounded Laplacian
+// system (L + J/n)x = e_u − e_v. Self-loops carry no current and are
+// ignored. For loop-free graphs the commute identity
+// h(u,v)+h(v,u) = 2m·R(u,v) ties this to hitting times (Chandra et al.).
+func EffectiveResistance(g *graph.Graph, u, v int32) (float64, error) {
+	n := g.N()
+	if u == v {
+		return 0, nil
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: effective resistance requires connectivity")
+	}
+	a := linalg.NewMatrix(n, n)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		deg := 0
+		for _, w := range g.Neighbors(int32(i)) {
+			if w == int32(i) {
+				continue // self-loop: no resistance contribution
+			}
+			deg++
+			a.Add(i, int(w), -1)
+		}
+		a.Add(i, i, float64(deg))
+		for j := 0; j < n; j++ {
+			a.Add(i, j, invN)
+		}
+	}
+	b := make([]float64, n)
+	b[u], b[v] = 1, -1
+	x, err := linalg.SolveSystem(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return x[u] - x[v], nil
+}

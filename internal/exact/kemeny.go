@@ -1,0 +1,121 @@
+package exact
+
+import (
+	"fmt"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+)
+
+// KemenyConstant returns K(G) = Σ_v π(v)·h(u,v), which the random-walk
+// literature proves is independent of the start u ("the Kemeny constant
+// paradox"). The invariance is a stringent end-to-end check of the
+// fundamental-matrix hitting times, asserted by tests across all starts.
+func KemenyConstant(g *graph.Graph, ht *HittingTimes) float64 {
+	op := linalg.NewWalkOperator(g, 0)
+	pi := op.StationaryDistribution()
+	// Any start gives the same value; use vertex 0 and let tests check
+	// invariance explicitly.
+	k := 0.0
+	for v := 0; v < g.N(); v++ {
+		k += pi[v] * ht.H.At(0, v)
+	}
+	return k
+}
+
+// KemenySpread returns the maximum over starts u of |Σ_v π(v)h(u,v) − K|,
+// a numerical-error diagnostic that should be ~0.
+func KemenySpread(g *graph.Graph, ht *HittingTimes) float64 {
+	op := linalg.NewWalkOperator(g, 0)
+	pi := op.StationaryDistribution()
+	ref := KemenyConstant(g, ht)
+	worst := 0.0
+	for u := 0; u < g.N(); u++ {
+		k := 0.0
+		for v := 0; v < g.N(); v++ {
+			k += pi[v] * ht.H.At(u, v)
+		}
+		if d := abs(k - ref); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ExpectedReturnTime returns E[time for the walk to return to v] = 1/π(v),
+// exact for any connected graph.
+func ExpectedReturnTime(g *graph.Graph, v int32) float64 {
+	total := float64(g.TotalDegree())
+	return total / float64(g.Degree(v))
+}
+
+// laplacianOperator applies the grounded Laplacian L + J/n without
+// materializing it: (L+J/n)x = Dx − Ax + (Σx)/n. Self-loops are excluded
+// (they carry no current).
+type laplacianOperator struct {
+	g       *graph.Graph
+	loopFix []int32 // degree excluding self-loops
+}
+
+func newLaplacianOperator(g *graph.Graph) *laplacianOperator {
+	n := g.N()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		d := int32(0)
+		for _, u := range g.Neighbors(int32(v)) {
+			if u != int32(v) {
+				d++
+			}
+		}
+		deg[v] = d
+	}
+	return &laplacianOperator{g: g, loopFix: deg}
+}
+
+func (l *laplacianOperator) Dim() int { return l.g.N() }
+
+func (l *laplacianOperator) Apply(x, out []float64) {
+	n := l.g.N()
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	ground := sum / float64(n)
+	for v := 0; v < n; v++ {
+		acc := float64(l.loopFix[v]) * x[v]
+		for _, u := range l.g.Neighbors(int32(v)) {
+			if u != int32(v) {
+				acc -= x[u]
+			}
+		}
+		out[v] = acc + ground
+	}
+}
+
+// EffectiveResistanceCG computes the effective resistance with a matrix-free
+// conjugate-gradient solve of the grounded Laplacian — O(m·√κ) instead of
+// the dense solver's O(n³), usable on graphs far beyond the dense limit.
+func EffectiveResistanceCG(g *graph.Graph, u, v int32) (float64, error) {
+	if u == v {
+		return 0, nil
+	}
+	if !g.IsConnected() {
+		return 0, fmt.Errorf("exact: effective resistance requires connectivity")
+	}
+	n := g.N()
+	b := make([]float64, n)
+	b[u], b[v] = 1, -1
+	x, _, _, err := linalg.ConjugateGradient(newLaplacianOperator(g), b,
+		linalg.CGOptions{MaxIters: 40 * n, Tol: 1e-11})
+	if err != nil {
+		return 0, err
+	}
+	return x[u] - x[v], nil
+}

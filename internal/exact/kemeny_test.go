@@ -1,0 +1,165 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/rng"
+)
+
+func TestKemenyInvariance(t *testing.T) {
+	// Σ_v π(v)h(u,v) must not depend on u — across assorted topologies.
+	graphs := []*graph.Graph{
+		graph.Cycle(9),
+		graph.Complete(7, false),
+		graph.Star(6),
+		graph.Lollipop(5, 4),
+		graph.Wheel(8),
+		graph.BalancedTree(2, 3),
+	}
+	for _, g := range graphs {
+		ht, err := ComputeHittingTimes(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spread := KemenySpread(g, ht); spread > 1e-7 {
+			t.Fatalf("%s: Kemeny spread %v", g.Name(), spread)
+		}
+	}
+}
+
+func TestKemenyCompleteGraphClosedForm(t *testing.T) {
+	// K_n: h(u,v) = n-1 for u≠v, π uniform → K = (n-1)²/n.
+	n := 9
+	g := graph.Complete(n, false)
+	ht, _ := ComputeHittingTimes(g)
+	want := float64((n-1)*(n-1)) / float64(n)
+	if got := KemenyConstant(g, ht); math.Abs(got-want) > 1e-8 {
+		t.Fatalf("K%d Kemeny %v, want %v", n, got, want)
+	}
+}
+
+func TestExpectedReturnTime(t *testing.T) {
+	// Return time = 1/π(v) = totalDegree/deg(v).
+	g := graph.Star(5) // center degree 4, leaves 1, total 8
+	if rt := ExpectedReturnTime(g, 0); rt != 2 {
+		t.Fatalf("center return %v", rt)
+	}
+	if rt := ExpectedReturnTime(g, 1); rt != 8 {
+		t.Fatalf("leaf return %v", rt)
+	}
+	// Regular graph: return time = n everywhere.
+	c := graph.Cycle(12)
+	if rt := ExpectedReturnTime(c, 3); rt != 12 {
+		t.Fatalf("cycle return %v", rt)
+	}
+}
+
+func TestEffectiveResistanceCGMatchesDense(t *testing.T) {
+	r := rng.New(5)
+	graphs := []*graph.Graph{
+		graph.Cycle(30),
+		graph.Torus2D(6),
+		graph.ErdosRenyi(40, 0.2, r),
+		graph.Complete(12, true), // self-loops must be ignored
+	}
+	for _, g := range graphs {
+		if !g.IsConnected() {
+			continue
+		}
+		pairs := [][2]int32{{0, 1}, {0, int32(g.N() - 1)}, {2, int32(g.N() / 2)}}
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				continue
+			}
+			dense, err := EffectiveResistance(g, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg, err := EffectiveResistanceCG(g, p[0], p[1])
+			if err != nil {
+				t.Fatalf("%s: %v", g.Name(), err)
+			}
+			if math.Abs(dense-cg) > 1e-7 {
+				t.Fatalf("%s pair %v: dense %v vs CG %v", g.Name(), p, dense, cg)
+			}
+		}
+	}
+}
+
+func TestEffectiveResistanceCGLargeGraph(t *testing.T) {
+	// A graph size the dense solver would crawl on: n = 4096 torus.
+	g := graph.Torus2D(64)
+	rEff, err := EffectiveResistanceCG(g, 0, int32(g.N()/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-d torus resistance between antipodal points ≈ (ln n)/(2π) scale;
+	// sanity-band only.
+	if rEff < 0.3 || rEff > 3 {
+		t.Fatalf("torus(64) antipodal resistance %v out of band", rEff)
+	}
+}
+
+func TestEffectiveResistanceCGDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := EffectiveResistanceCG(b.Build("disc"), 0, 2); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestConjugateGradientOnDenseSPD(t *testing.T) {
+	// Validate CG itself against the LU solver on a random SPD system.
+	r := rng.New(9)
+	n := 30
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Float64() - 0.5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Add(i, i, float64(n)) // diagonal dominance → SPD
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = r.Float64() * 10
+	}
+	b := a.MatVec(want)
+	got, iters, resid, err := linalg.ConjugateGradient(linalg.DenseOperator{M: a}, b, linalg.CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 || resid > 1e-9 {
+		t.Fatalf("iters=%d resid=%v", iters, resid)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConjugateGradientZeroRHS(t *testing.T) {
+	g := graph.Cycle(5)
+	x, iters, _, err := linalg.ConjugateGradient(newLaplacianOperator(g), make([]float64, 5), linalg.CGOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: %v iters=%d", err, iters)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestConjugateGradientDimensionMismatch(t *testing.T) {
+	g := graph.Cycle(5)
+	if _, _, _, err := linalg.ConjugateGradient(newLaplacianOperator(g), make([]float64, 4), linalg.CGOptions{}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// TestFosterTheorem checks Foster's identity: on any connected loop-free
+// graph, Σ_{(u,v)∈E} R_eff(u,v) = n − 1 exactly.
+func TestFosterTheorem(t *testing.T) {
+	r := rng.New(7)
+	graphs := []*graph.Graph{
+		graph.Cycle(8),
+		graph.Complete(6, false),
+		graph.Wheel(7),
+		graph.Torus2D(3),
+		graph.Lollipop(5, 3),
+		graph.ErdosRenyi(20, 0.3, r),
+	}
+	for _, g := range graphs {
+		if !g.IsConnected() {
+			continue
+		}
+		sum := 0.0
+		for v := int32(0); v < int32(g.N()); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					rEff, err := EffectiveResistance(g, v, u)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum += rEff
+				}
+			}
+		}
+		want := float64(g.N() - 1)
+		if math.Abs(sum-want) > 1e-7 {
+			t.Fatalf("%s: Foster sum %v, want %v", g.Name(), sum, want)
+		}
+	}
+}
+
+// TestRayleighMonotonicity checks that adding an edge never increases any
+// effective resistance (Rayleigh's monotonicity law), via random graphs and
+// random edge additions.
+func TestRayleighMonotonicity(t *testing.T) {
+	check := func(seed uint16) bool {
+		r := rng.NewStream(uint64(seed), 3)
+		n := 6 + r.Intn(10)
+		g, err := graph.ConnectedErdosRenyi(n, 0.4, r, 50)
+		if err != nil {
+			return true // skip unlucky disconnected draws
+		}
+		// Pick a non-edge to add.
+		var au, av int32 = -1, -1
+		for tries := 0; tries < 100; tries++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				au, av = u, v
+				break
+			}
+		}
+		if au < 0 {
+			return true // dense instance with no free pair
+		}
+		b := graph.NewBuilder(n)
+		for v := int32(0); v < int32(n); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					b.AddEdge(v, u)
+				}
+			}
+		}
+		b.AddEdge(au, av)
+		g2 := b.Build("aug")
+		// Check a handful of pairs.
+		for probe := 0; probe < 5; probe++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			before, err := EffectiveResistance(g, u, v)
+			if err != nil {
+				return false
+			}
+			after, err := EffectiveResistance(g2, u, v)
+			if err != nil {
+				return false
+			}
+			if after > before+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHittingTriangleInequality checks h(u,w) ≤ h(u,v) + h(v,w): visiting v
+// en route is one feasible strategy, so the direct hitting time can only be
+// smaller.
+func TestHittingTriangleInequality(t *testing.T) {
+	r := rng.New(17)
+	graphs := []*graph.Graph{
+		graph.Cycle(10),
+		graph.Lollipop(6, 4),
+		graph.ErdosRenyi(16, 0.35, r),
+	}
+	for _, g := range graphs {
+		if !g.IsConnected() {
+			continue
+		}
+		ht, err := ComputeHittingTimes(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int32(g.N())
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				for w := int32(0); w < n; w++ {
+					if ht.At(u, w) > ht.At(u, v)+ht.At(v, w)+1e-7 {
+						t.Fatalf("%s: h(%d,%d)=%v > h(%d,%d)+h(%d,%d)=%v",
+							g.Name(), u, w, ht.At(u, w), u, v, v, w,
+							ht.At(u, v)+ht.At(v, w))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCommuteIsMetric checks that commute time is symmetric and satisfies
+// the triangle inequality (it is 2m·R_eff, and resistance is a metric).
+func TestCommuteIsMetric(t *testing.T) {
+	g := graph.Wheel(9)
+	ht, err := ComputeHittingTimes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.N())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if math.Abs(ht.CommuteTime(u, v)-ht.CommuteTime(v, u)) > 1e-9 {
+				t.Fatal("commute asymmetric")
+			}
+			for w := int32(0); w < n; w++ {
+				if ht.CommuteTime(u, w) > ht.CommuteTime(u, v)+ht.CommuteTime(v, w)+1e-7 {
+					t.Fatalf("commute triangle violated at (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+}

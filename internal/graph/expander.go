@@ -1,0 +1,106 @@
+package graph
+
+import "fmt"
+
+// MargulisExpander returns the Margulis–Gabber–Galil expander on the m×m
+// torus Z_m × Z_m (n = m² vertices). Vertex (x,y) connects to
+//
+//	(x±2y, y), (x±(2y+1), y), (x, y±2x), (x, y±(2x+1))   (mod m)
+//
+// giving an 8-regular multigraph whose simple-graph skeleton is a proven
+// expander (second adjacency eigenvalue at most 5√2 < 8). Collapsing
+// parallel edges and loops makes vertex degrees vary slightly (between 4 and
+// 8 at small m); tests certify the spectral gap of the realized graph
+// directly rather than relying on the multigraph constant.
+func MargulisExpander(m int) *Graph {
+	if m < 2 {
+		panic("graph: MargulisExpander requires m >= 2")
+	}
+	n := m * m
+	b := NewBuilder(n)
+	id := func(x, y int) int32 { return int32(x*m + y) }
+	mod := func(a int) int {
+		a %= m
+		if a < 0 {
+			a += m
+		}
+		return a
+	}
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			targets := [8][2]int{
+				{mod(x + 2*y), y},
+				{mod(x - 2*y), y},
+				{mod(x + 2*y + 1), y},
+				{mod(x - 2*y - 1), y},
+				{x, mod(y + 2*x)},
+				{x, mod(y - 2*x)},
+				{x, mod(y + 2*x + 1)},
+				{x, mod(y - 2*x - 1)},
+			}
+			for _, t := range targets {
+				u := id(t[0], t[1])
+				if u != v {
+					b.AddEdge(v, u)
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("margulis(%d^2)", m))
+}
+
+// CycleWithChords returns the 3-regular "cycle with inverse chords" graph on
+// a prime p: vertex x is adjacent to x+1, x-1 (mod p) and to its modular
+// inverse x^{-1} (0 is matched with itself, yielding one self-loop that we
+// drop to stay simple, so vertices 0 and 1 and p-1 have degree 2 or 3).
+// This is the classic explicit expander of Chung; it provides a second,
+// structurally different (n,d,λ)-graph for the expander experiments.
+func CycleWithChords(p int) *Graph {
+	if p < 5 || !isPrime(p) {
+		panic("graph: CycleWithChords requires a prime p >= 5")
+	}
+	b := NewBuilder(p)
+	for x := 0; x < p; x++ {
+		b.AddEdge(int32(x), int32((x+1)%p))
+		inv := modInverse(x, p)
+		if inv != x {
+			b.AddEdge(int32(x), int32(inv))
+		}
+	}
+	return b.Build(fmt.Sprintf("chords(%d)", p))
+}
+
+// isPrime is a deterministic trial-division primality test, sufficient for
+// the graph sizes used here.
+func isPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	if p%2 == 0 {
+		return p == 2
+	}
+	for f := 3; f*f <= p; f += 2 {
+		if p%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// modInverse returns x^{-1} mod p for prime p, with the convention that
+// 0^{-1} = 0. It uses Fermat exponentiation.
+func modInverse(x, p int) int {
+	if x == 0 {
+		return 0
+	}
+	result, base, exp := 1, x%p, p-2
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % p
+		}
+		base = base * base % p
+		exp >>= 1
+	}
+	return result
+}

@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"testing"
+
+	"manywalks/internal/rng"
+)
+
+// requireValid validates structural invariants common to all generators.
+func requireValid(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+}
+
+func TestCycleStructure(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 64, 1001} {
+		g := Cycle(n)
+		requireValid(t, g)
+		if g.N() != n || g.M() != n {
+			t.Fatalf("cycle(%d): N=%d M=%d", n, g.N(), g.M())
+		}
+		if reg, d := g.IsRegular(); !reg || d != 2 {
+			t.Fatalf("cycle(%d) not 2-regular", n)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("cycle(%d) disconnected", n)
+		}
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	g := Path(17)
+	requireValid(t, g)
+	if g.M() != 16 || !g.IsConnected() {
+		t.Fatalf("path(17): M=%d", g.M())
+	}
+}
+
+func TestCompleteStructure(t *testing.T) {
+	g := Complete(10, false)
+	requireValid(t, g)
+	if g.M() != 45 {
+		t.Fatalf("K10 M=%d, want 45", g.M())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 9 {
+		t.Fatal("K10 not 9-regular")
+	}
+	gl := Complete(10, true)
+	requireValid(t, gl)
+	if gl.M() != 55 || gl.SelfLoops() != 10 {
+		t.Fatalf("K10+loops M=%d loops=%d", gl.M(), gl.SelfLoops())
+	}
+	if reg, d := gl.IsRegular(); !reg || d != 10 {
+		t.Fatal("K10+loops not 10-regular")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	// 4x4 open grid: corner degree 2, edge 3, interior 4; m = 2*4*3 = 24.
+	g := Grid([]int{4, 4}, false)
+	requireValid(t, g)
+	if g.M() != 24 {
+		t.Fatalf("grid[4,4] M=%d, want 24", g.M())
+	}
+	h := g.DegreeHistogram()
+	if h[2] != 4 || h[3] != 8 || h[4] != 4 {
+		t.Fatalf("grid[4,4] degree histogram %v", h)
+	}
+	// 3-d open grid.
+	g3 := Grid([]int{3, 3, 3}, false)
+	requireValid(t, g3)
+	if g3.N() != 27 || !g3.IsConnected() {
+		t.Fatal("grid[3,3,3] malformed")
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	for _, side := range []int{3, 4, 8} {
+		g := Torus2D(side)
+		requireValid(t, g)
+		n := side * side
+		if g.N() != n || g.M() != 2*n {
+			t.Fatalf("torus %d: N=%d M=%d, want %d,%d", side, g.N(), g.M(), n, 2*n)
+		}
+		if reg, d := g.IsRegular(); !reg || d != 4 {
+			t.Fatalf("torus %d not 4-regular", side)
+		}
+	}
+	g := Grid([]int{3, 3, 3}, true)
+	requireValid(t, g)
+	if reg, d := g.IsRegular(); !reg || d != 6 {
+		t.Fatal("3-d torus not 6-regular")
+	}
+}
+
+func TestTorusSideTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("torus with side 2 must panic (parallel edges)")
+		}
+	}()
+	Grid([]int{2, 4}, true)
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 6, 10} {
+		g := Hypercube(dim)
+		requireValid(t, g)
+		n := 1 << uint(dim)
+		if g.N() != n || g.M() != n*dim/2 {
+			t.Fatalf("hypercube(%d): N=%d M=%d", dim, g.N(), g.M())
+		}
+		if !g.IsConnected() || !g.IsBipartite() {
+			t.Fatalf("hypercube(%d) connectivity/bipartite", dim)
+		}
+		if g.Diameter() != dim {
+			t.Fatalf("hypercube(%d) diameter %d", dim, g.Diameter())
+		}
+	}
+}
+
+func TestBalancedTreeStructure(t *testing.T) {
+	for _, tc := range []struct{ a, h, n int }{
+		{2, 1, 3}, {2, 3, 15}, {3, 2, 13}, {4, 2, 21},
+	} {
+		g := BalancedTree(tc.a, tc.h)
+		requireValid(t, g)
+		if g.N() != tc.n {
+			t.Fatalf("tree(%d,%d): N=%d, want %d", tc.a, tc.h, g.N(), tc.n)
+		}
+		if g.M() != tc.n-1 || !g.IsConnected() {
+			t.Fatalf("tree(%d,%d) not a tree: M=%d", tc.a, tc.h, g.M())
+		}
+		// Root has arity children; leaves have degree 1.
+		if g.Degree(0) != tc.a {
+			t.Fatalf("tree root degree %d", g.Degree(0))
+		}
+		leaves := 0
+		for v := int32(0); v < int32(g.N()); v++ {
+			if g.Degree(v) == 1 {
+				leaves++
+			}
+		}
+		want := 1
+		for i := 0; i < tc.h; i++ {
+			want *= tc.a
+		}
+		if leaves != want {
+			t.Fatalf("tree(%d,%d) leaves=%d want %d", tc.a, tc.h, leaves, want)
+		}
+	}
+}
+
+func TestBarbellStructure(t *testing.T) {
+	for _, n := range []int{7, 13, 101} {
+		g, center := Barbell(n)
+		requireValid(t, g)
+		if g.N() != n {
+			t.Fatalf("barbell(%d): N=%d", n, g.N())
+		}
+		if g.Degree(center) != 2 {
+			t.Fatalf("barbell center degree %d", g.Degree(center))
+		}
+		m := (n - 1) / 2
+		// Each clique contributes m(m-1)/2 edges plus 2 path edges.
+		wantM := m*(m-1) + 2
+		if g.M() != wantM {
+			t.Fatalf("barbell(%d): M=%d want %d", n, g.M(), wantM)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("barbell(%d) disconnected", n)
+		}
+		// The two clique attachment points have degree m, others m-1.
+		if g.Degree(0) != m || g.Degree(int32(m)) != m {
+			t.Fatalf("barbell attachment degrees %d,%d want %d", g.Degree(0), g.Degree(int32(m)), m)
+		}
+		// Center sits between the cliques: removing it disconnects A from B.
+		distFromA := g.BFS(1)
+		if distFromA[m+1] != 4 { // clique A interior -> 0 -> center -> m -> m+1
+			t.Fatalf("barbell cross distance %d, want 4", distFromA[m+1])
+		}
+	}
+}
+
+func TestLollipopStructure(t *testing.T) {
+	g := Lollipop(10, 5)
+	requireValid(t, g)
+	if g.N() != 15 || g.M() != 45+5 {
+		t.Fatalf("lollipop: N=%d M=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("lollipop disconnected")
+	}
+	if g.Degree(14) != 1 {
+		t.Fatal("lollipop tail endpoint degree != 1")
+	}
+}
+
+func TestErdosRenyiBasics(t *testing.T) {
+	r := rng.New(7)
+	g := ErdosRenyi(200, 0.05, r)
+	requireValid(t, g)
+	// Expected edges = C(200,2)*0.05 = 995; allow wide slack (±5 sd ≈ ±154).
+	if g.M() < 700 || g.M() > 1300 {
+		t.Fatalf("G(200,0.05) M=%d far from 995", g.M())
+	}
+	// p=0 and p=1 extremes.
+	if ErdosRenyi(50, 0, r).M() != 0 {
+		t.Fatal("G(n,0) has edges")
+	}
+	if ErdosRenyi(20, 1, r).M() != 190 {
+		t.Fatal("G(n,1) is not complete")
+	}
+}
+
+func TestErdosRenyiEdgeDistribution(t *testing.T) {
+	// Each specific edge must appear with probability ~p.
+	r := rng.New(99)
+	const trials = 400
+	count := 0
+	for i := 0; i < trials; i++ {
+		g := ErdosRenyi(30, 0.2, r)
+		if g.HasEdge(3, 17) {
+			count++
+		}
+	}
+	frac := float64(count) / trials
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("edge frequency %.3f far from 0.2", frac)
+	}
+}
+
+func TestConnectedErdosRenyi(t *testing.T) {
+	r := rng.New(13)
+	g, err := ConnectedErdosRenyi(300, 0.05, r, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireValid(t, g)
+	if !g.IsConnected() {
+		t.Fatal("ConnectedErdosRenyi returned disconnected graph")
+	}
+}
+
+func TestTriangleDecode(t *testing.T) {
+	// Exhaustive inverse check for small n.
+	for _, n := range []int{2, 3, 5, 17} {
+		idx := int64(0)
+		for r := 0; r < n; r++ {
+			for c := r + 1; c < n; c++ {
+				gr, gc := triangleDecode(idx, n)
+				if gr != r || gc != c {
+					t.Fatalf("decode(%d,n=%d) = (%d,%d), want (%d,%d)", idx, n, gr, gc, r, c)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(21)
+	for _, tc := range []struct{ n, d int }{{50, 3}, {64, 4}, {101, 6}} {
+		g, err := RandomRegular(tc.n, tc.d, r, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireValid(t, g)
+		if reg, d := g.IsRegular(); !reg || d != tc.d {
+			t.Fatalf("RandomRegular(%d,%d) not regular: %v %d", tc.n, tc.d, reg, d)
+		}
+		if g.SelfLoops() != 0 {
+			t.Fatal("RandomRegular produced loops")
+		}
+	}
+	if _, err := RandomRegular(5, 3, r, 10); err == nil {
+		t.Fatal("odd n*d must be rejected")
+	}
+	if _, err := RandomRegular(4, 4, r, 10); err == nil {
+		t.Fatal("d >= n must be rejected")
+	}
+}
+
+func TestConnectedRandomRegular(t *testing.T) {
+	r := rng.New(31)
+	g, err := ConnectedRandomRegular(128, 3, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	r := rng.New(5)
+	g := RandomGeometric(400, 0.15, r)
+	requireValid(t, g)
+	if g.SelfLoops() != 0 {
+		t.Fatal("geometric graph has loops")
+	}
+	// With r=0.15 and n=400 the graph is dense enough to be connected whp;
+	// tolerate rare failure by only checking it has plenty of edges.
+	if g.M() < 400 {
+		t.Fatalf("rgg unexpectedly sparse: M=%d", g.M())
+	}
+}
+
+func TestRandomGeometricGridMatchesBruteForce(t *testing.T) {
+	// The cell-grid construction must match the O(n²) definition.
+	r := rng.New(77)
+	// Re-generate points with the same stream to compare: easiest is to
+	// build twice with same seed but different radius handling; instead we
+	// verify the triangle property on the generated graph: any two adjacent
+	// vertices must be within radius — guaranteed by construction — and
+	// spot-check non-adjacent near pairs via a fresh brute-force instance.
+	const n = 150
+	const radius = 0.2
+	seed := uint64(123)
+	ptsSrc := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = ptsSrc.Float64()
+		ys[i] = ptsSrc.Float64()
+	}
+	g := RandomGeometric(n, radius, rng.New(seed))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			within := dx*dx+dy*dy <= radius*radius
+			if within != g.HasEdge(int32(i), int32(j)) {
+				t.Fatalf("rgg mismatch at (%d,%d): within=%v", i, j, within)
+			}
+		}
+	}
+	_ = r
+}
+
+func TestMargulisExpander(t *testing.T) {
+	for _, m := range []int{3, 5, 8, 16} {
+		g := MargulisExpander(m)
+		requireValid(t, g)
+		if g.N() != m*m {
+			t.Fatalf("margulis(%d): N=%d", m, g.N())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("margulis(%d) disconnected", m)
+		}
+		_, max := g.DegreeStats()
+		if max > 8 {
+			t.Fatalf("margulis(%d) max degree %d > 8", m, max)
+		}
+	}
+}
+
+func TestCycleWithChords(t *testing.T) {
+	for _, p := range []int{7, 13, 101, 257} {
+		g := CycleWithChords(p)
+		requireValid(t, g)
+		if g.N() != p || !g.IsConnected() {
+			t.Fatalf("chords(%d) malformed", p)
+		}
+		_, max := g.DegreeStats()
+		if max > 3 {
+			t.Fatalf("chords(%d) degree %d > 3", p, max)
+		}
+	}
+}
+
+func TestCycleWithChordsRejectsComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("composite p accepted")
+		}
+	}()
+	CycleWithChords(9)
+}
+
+func TestModInverse(t *testing.T) {
+	for _, p := range []int{5, 7, 11, 101} {
+		for x := 1; x < p; x++ {
+			inv := modInverse(x, p)
+			if x*inv%p != 1 {
+				t.Fatalf("modInverse(%d,%d) = %d", x, p, inv)
+			}
+		}
+	}
+	if modInverse(0, 7) != 0 {
+		t.Fatal("0 inverse convention broken")
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 101: true, 257: true}
+	for n := 2; n <= 300; n++ {
+		got := isPrime(n)
+		want := trialDivision(n)
+		if got != want {
+			t.Fatalf("isPrime(%d) = %v", n, got)
+		}
+		_ = primes
+	}
+}
+
+func trialDivision(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Cycle(2)", func() { Cycle(2) })
+	mustPanic("Path(1)", func() { Path(1) })
+	mustPanic("Complete(1)", func() { Complete(1, false) })
+	mustPanic("Grid empty", func() { Grid(nil, false) })
+	mustPanic("Hypercube(0)", func() { Hypercube(0) })
+	mustPanic("BalancedTree(1,1)", func() { BalancedTree(1, 1) })
+	mustPanic("Barbell even", func() { Barbell(8) })
+	mustPanic("Barbell tiny", func() { Barbell(5) })
+	mustPanic("Lollipop", func() { Lollipop(2, 1) })
+	mustPanic("Margulis(1)", func() { MargulisExpander(1) })
+	mustPanic("ER bad p", func() { ErdosRenyi(10, 1.5, rng.New(1)) })
+	mustPanic("RGG bad r", func() { RandomGeometric(10, 0, rng.New(1)) })
+}

@@ -1,0 +1,260 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// reproduction: a compact CSR (compressed sparse row) representation tuned
+// for random-walk stepping, a builder for incremental construction, and
+// generators for every graph family evaluated in the paper (cycle, grids and
+// tori, hypercube, complete graph, expanders, Erdős–Rényi and geometric
+// random graphs, balanced trees, barbell and lollipop graphs).
+//
+// Vertices are integers in [0, N). Graphs are simple and undirected unless a
+// generator documents otherwise (Complete supports optional self-loops, as
+// used by Lemma 12 of the paper). The degree of a vertex is the length of
+// its adjacency list; a self-loop contributes one entry, so a walker at v
+// moves to a uniform element of Neighbors(v), possibly v itself.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form. The zero value is the
+// empty graph. Adjacency lists are sorted, enabling binary-search edge
+// queries and deterministic iteration.
+type Graph struct {
+	offsets []int32 // length n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+	m       int    // number of undirected edges (self-loops count once)
+	loops   int    // number of self-loops
+	name    string // human-readable family label, e.g. "cycle(1024)"
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges; a self-loop counts as one edge.
+func (g *Graph) M() int { return g.m }
+
+// SelfLoops returns the number of self-loop edges.
+func (g *Graph) SelfLoops() int { return g.loops }
+
+// Name returns the label assigned by the generator, or "graph(n)" if unset.
+func (g *Graph) Name() string {
+	if g.name == "" {
+		return fmt.Sprintf("graph(%d)", g.N())
+	}
+	return g.name
+}
+
+// SetName overrides the graph's label.
+func (g *Graph) SetName(s string) { g.name = s }
+
+// Degree returns the degree of v (self-loop counts once).
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Offset returns the CSR offset of v's adjacency range: the number of
+// adjacency slots owned by vertices before v. Offset(n) equals the total
+// adjacency length. Samplers use this to map a uniform adjacency slot back
+// to its owning vertex (degree-proportional vertex sampling).
+func (g *Graph) Offset(v int32) int { return int(g.offsets[v]) }
+
+// Neighbor returns the i-th neighbor of v; it is the random-walk hot path
+// and performs no bounds checking beyond the slice's own.
+func (g *Graph) Neighbor(v int32, i int) int32 {
+	return g.adj[int(g.offsets[v])+i]
+}
+
+// HasEdge reports whether {u,v} is an edge (or a self-loop when u == v).
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// DegreeStats returns the minimum and maximum degree; both are 0 for the
+// empty graph.
+func (g *Graph) DegreeStats() (min, max int) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0
+	}
+	min, max = g.Degree(0), g.Degree(0)
+	for v := int32(1); v < int32(n); v++ {
+		d := g.Degree(v)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max
+}
+
+// IsRegular reports whether every vertex has the same degree, and that degree.
+func (g *Graph) IsRegular() (bool, int) {
+	min, max := g.DegreeStats()
+	return min == max, max
+}
+
+// TotalDegree returns the sum of all vertex degrees (2m for loop-free graphs,
+// 2m - loops in general, because a self-loop contributes a single entry).
+func (g *Graph) TotalDegree() int { return len(g.adj) }
+
+// Validate checks internal consistency: sorted adjacency, symmetric edges,
+// in-range endpoints, and edge-count bookkeeping. Generators call it in
+// tests; it is O(m log d).
+func (g *Graph) Validate() error {
+	n := int32(g.N())
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return fmt.Errorf("graph: bad offsets header")
+	}
+	if int(g.offsets[n]) != len(g.adj) {
+		return fmt.Errorf("graph: offsets end %d != len(adj) %d", g.offsets[n], len(g.adj))
+	}
+	loops := 0
+	for v := int32(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", u, v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if u == v {
+				loops++
+			} else if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	if loops != g.loops {
+		return fmt.Errorf("graph: loop count %d != recorded %d", loops, g.loops)
+	}
+	wantAdj := 2*(g.m-g.loops) + g.loops
+	if len(g.adj) != wantAdj {
+		return fmt.Errorf("graph: adj length %d != expected %d for m=%d loops=%d",
+			len(g.adj), wantAdj, g.m, g.loops)
+	}
+	return nil
+}
+
+// Builder accumulates undirected edges and produces a Graph. Duplicate edges
+// are coalesced; AddEdge(u,u) records a self-loop. The zero Builder is not
+// usable; call NewBuilder with the vertex count.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v}. Endpoints must be in [0,n).
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// EdgeCount returns the number of recorded (possibly duplicate) edges.
+func (b *Builder) EdgeCount() int { return len(b.edges) }
+
+// Build produces the immutable Graph, deduplicating edges.
+func (b *Builder) Build(name string) *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	uniq := b.edges[:0]
+	var last [2]int32 = [2]int32{-1, -1}
+	for _, e := range b.edges {
+		if e != last {
+			uniq = append(uniq, e)
+			last = e
+		}
+	}
+	deg := make([]int32, b.n)
+	loops := 0
+	for _, e := range uniq {
+		if e[0] == e[1] {
+			deg[e[0]]++
+			loops++
+		} else {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+	}
+	g := &Graph{
+		offsets: make([]int32, b.n+1),
+		m:       len(uniq),
+		loops:   loops,
+		name:    name,
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	g.adj = make([]int32, g.offsets[b.n])
+	cursor := make([]int32, b.n)
+	copy(cursor, g.offsets[:b.n])
+	for _, e := range uniq {
+		g.adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		if e[0] != e[1] {
+			g.adj[cursor[e[1]]] = e[0]
+			cursor[e[1]]++
+		}
+	}
+	for v := int32(0); v < int32(b.n); v++ {
+		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// fromAdjacency builds a Graph directly from per-vertex adjacency lists that
+// are already symmetric. It is the fast path used by deterministic
+// generators, avoiding Builder's sort of the global edge list.
+func fromAdjacency(lists [][]int32, name string) *Graph {
+	n := len(lists)
+	g := &Graph{offsets: make([]int32, n+1), name: name}
+	total := 0
+	for v, nb := range lists {
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		total += len(nb)
+		g.offsets[v+1] = g.offsets[v] + int32(len(nb))
+	}
+	g.adj = make([]int32, 0, total)
+	for v, nb := range lists {
+		for _, u := range nb {
+			g.adj = append(g.adj, u)
+			if u == int32(v) {
+				g.loops++
+			}
+		}
+	}
+	g.m = (len(g.adj)-g.loops)/2 + g.loops
+	return g
+}

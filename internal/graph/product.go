@@ -1,0 +1,137 @@
+package graph
+
+import "fmt"
+
+// CartesianProduct returns the Cartesian product G □ H: vertices are pairs
+// (g,h) encoded as g*H.N()+h, and (g,h)~(g',h') iff (g=g' and h~h') or
+// (h=h' and g~g'). Classic identities make this a strong generator test
+// bed: Hypercube(d) = K₂ □ ... □ K₂ and Torus2D(s) = C_s □ C_s.
+func CartesianProduct(g, h *Graph) *Graph {
+	ng, nh := g.N(), h.N()
+	if ng == 0 || nh == 0 {
+		panic("graph: product with empty factor")
+	}
+	n := ng * nh
+	lists := make([][]int32, n)
+	for a := 0; a < ng; a++ {
+		degA := g.Degree(int32(a))
+		for b := 0; b < nh; b++ {
+			v := a*nh + b
+			row := make([]int32, 0, degA+h.Degree(int32(b)))
+			for _, a2 := range g.Neighbors(int32(a)) {
+				row = append(row, a2*int32(nh)+int32(b))
+			}
+			for _, b2 := range h.Neighbors(int32(b)) {
+				row = append(row, int32(a)*int32(nh)+b2)
+			}
+			lists[v] = row
+		}
+	}
+	return fromAdjacency(lists, fmt.Sprintf("(%s)□(%s)", g.Name(), h.Name()))
+}
+
+// DisjointUnion returns G ⊔ H with H's vertices shifted by G.N(). The result
+// is disconnected by construction; useful for negative-path testing of
+// connectivity-requiring algorithms.
+func DisjointUnion(g, h *Graph) *Graph {
+	ng := g.N()
+	lists := make([][]int32, ng+h.N())
+	for v := 0; v < ng; v++ {
+		lists[v] = append([]int32(nil), g.Neighbors(int32(v))...)
+	}
+	for v := 0; v < h.N(); v++ {
+		row := make([]int32, 0, h.Degree(int32(v)))
+		for _, u := range h.Neighbors(int32(v)) {
+			row = append(row, u+int32(ng))
+		}
+		lists[ng+v] = row
+	}
+	return fromAdjacency(lists, fmt.Sprintf("(%s)+(%s)", g.Name(), h.Name()))
+}
+
+// WithSelfLoops returns a copy of g with a self-loop added at every vertex
+// that lacks one (the uniform-lazy variant used by Lemma 12 and by chains
+// that need aperiodicity without changing the vertex set).
+func WithSelfLoops(g *Graph) *Graph {
+	n := g.N()
+	lists := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(int32(v))
+		row := make([]int32, 0, len(nb)+1)
+		row = append(row, nb...)
+		if !g.HasEdge(int32(v), int32(v)) {
+			row = append(row, int32(v))
+		}
+		lists[v] = row
+	}
+	return fromAdjacency(lists, g.Name()+"+loops")
+}
+
+// Subgraph returns the induced subgraph on the given vertices (which are
+// relabeled 0..len-1 in the given order) plus the mapping used. Duplicate
+// vertices panic.
+func Subgraph(g *Graph, vertices []int32) (*Graph, map[int32]int32) {
+	relabel := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.N() {
+			panic(fmt.Sprintf("graph: subgraph vertex %d out of range", v))
+		}
+		if _, dup := relabel[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate subgraph vertex %d", v))
+		}
+		relabel[v] = int32(i)
+	}
+	lists := make([][]int32, len(vertices))
+	for i, v := range vertices {
+		var row []int32
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := relabel[u]; ok {
+				row = append(row, nu)
+			}
+		}
+		lists[i] = row
+	}
+	return fromAdjacency(lists, fmt.Sprintf("%s[%d]", g.Name(), len(vertices))), relabel
+}
+
+// Wheel returns the wheel graph: a cycle on n-1 vertices (1..n-1) plus a hub
+// (vertex 0) adjacent to all of them. n >= 5 keeps the rim a proper cycle.
+func Wheel(n int) *Graph {
+	if n < 5 {
+		panic("graph: Wheel requires n >= 5")
+	}
+	rim := n - 1
+	lists := make([][]int32, n)
+	hub := make([]int32, 0, rim)
+	for i := 1; i < n; i++ {
+		hub = append(hub, int32(i))
+		left := 1 + ((i - 1 + rim - 1) % rim)
+		right := 1 + (i % rim)
+		lists[i] = []int32{0, int32(left), int32(right)}
+	}
+	lists[0] = hub
+	return fromAdjacency(lists, fmt.Sprintf("wheel(%d)", n))
+}
+
+// CompleteBipartite returns K_{a,b}: sides [0,a) and [a,a+b).
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 {
+		panic("graph: CompleteBipartite requires a,b >= 1")
+	}
+	lists := make([][]int32, a+b)
+	left := make([]int32, b)
+	for j := 0; j < b; j++ {
+		left[j] = int32(a + j)
+	}
+	right := make([]int32, a)
+	for i := 0; i < a; i++ {
+		right[i] = int32(i)
+	}
+	for i := 0; i < a; i++ {
+		lists[i] = append([]int32(nil), left...)
+	}
+	for j := 0; j < b; j++ {
+		lists[a+j] = append([]int32(nil), right...)
+	}
+	return fromAdjacency(lists, fmt.Sprintf("kbipartite(%d,%d)", a, b))
+}

@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"manywalks/internal/rng"
+)
+
+// graphsEqual compares two graphs structurally.
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.SelfLoops() != b.SelfLoops() {
+		return false
+	}
+	for v := int32(0); v < int32(a.N()); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestProductHypercubeIdentity(t *testing.T) {
+	// K2 □ K2 □ K2 must be the 3-cube (up to the natural vertex order).
+	k2 := Complete(2, false)
+	cube := CartesianProduct(CartesianProduct(k2, k2), k2)
+	want := Hypercube(3)
+	if cube.N() != want.N() || cube.M() != want.M() {
+		t.Fatalf("product cube N=%d M=%d, want %d %d", cube.N(), cube.M(), want.N(), want.M())
+	}
+	// The product's bit order reverses relative to Hypercube's, but both are
+	// 3-regular bipartite with diameter 3 — verify the invariants and the
+	// degree sequence rather than a vertex bijection.
+	if reg, d := cube.IsRegular(); !reg || d != 3 {
+		t.Fatal("product cube not 3-regular")
+	}
+	if !cube.IsBipartite() || cube.Diameter() != 3 {
+		t.Fatal("product cube structure off")
+	}
+	requireValid(t, cube)
+}
+
+func TestProductTorusIdentity(t *testing.T) {
+	// C_s □ C_s has the same structure as Torus2D(s): 4-regular, n=s²,
+	// diameter s. (Vertex numbering matches exactly, in fact.)
+	s := 5
+	prod := CartesianProduct(Cycle(s), Cycle(s))
+	want := Torus2D(s)
+	if !graphsEqual(prod, want) {
+		t.Fatal("C5 □ C5 != Torus2D(5)")
+	}
+}
+
+func TestProductDegreeSum(t *testing.T) {
+	check := func(aSeed, bSeed uint8) bool {
+		r := rng.NewStream(uint64(aSeed)<<8|uint64(bSeed), 9)
+		a := ErdosRenyi(3+int(aSeed)%5, 0.5, r)
+		b := ErdosRenyi(3+int(bSeed)%5, 0.5, r)
+		p := CartesianProduct(a, b)
+		// deg_{G□H}(g,h) = deg_G(g) + deg_H(h).
+		for g := int32(0); g < int32(a.N()); g++ {
+			for h := int32(0); h < int32(b.N()); h++ {
+				v := g*int32(b.N()) + h
+				if p.Degree(v) != a.Degree(g)+b.Degree(h) {
+					return false
+				}
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	u := DisjointUnion(Cycle(4), Path(3))
+	requireValid(t, u)
+	if u.N() != 7 || u.M() != 4+2 {
+		t.Fatalf("union N=%d M=%d", u.N(), u.M())
+	}
+	if u.IsConnected() {
+		t.Fatal("disjoint union must be disconnected")
+	}
+	count, _ := u.Components()
+	if count != 2 {
+		t.Fatalf("components %d", count)
+	}
+	if !u.HasEdge(4, 5) || u.HasEdge(3, 4) {
+		t.Fatal("shifted edges wrong")
+	}
+}
+
+func TestWithSelfLoops(t *testing.T) {
+	g := WithSelfLoops(Cycle(5))
+	requireValid(t, g)
+	if g.SelfLoops() != 5 || g.M() != 10 {
+		t.Fatalf("loops=%d m=%d", g.SelfLoops(), g.M())
+	}
+	// Idempotent.
+	g2 := WithSelfLoops(g)
+	if g2.SelfLoops() != 5 || g2.M() != 10 {
+		t.Fatal("WithSelfLoops not idempotent")
+	}
+	// Matches Complete(n, true) on the complete graph.
+	if !graphsEqual(WithSelfLoops(Complete(4, false)), Complete(4, true)) {
+		t.Fatal("complete+loops mismatch")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Complete(6, false)
+	sub, relabel := Subgraph(g, []int32{1, 3, 5})
+	requireValid(t, sub)
+	if sub.N() != 3 || sub.M() != 3 { // induced triangle
+		t.Fatalf("subgraph N=%d M=%d", sub.N(), sub.M())
+	}
+	if relabel[3] != 1 {
+		t.Fatal("relabel order broken")
+	}
+	// Induced subgraph of a cycle on non-adjacent vertices has no edges.
+	sub2, _ := Subgraph(Cycle(6), []int32{0, 2, 4})
+	if sub2.M() != 0 {
+		t.Fatal("independent set has edges")
+	}
+}
+
+func TestSubgraphPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup", func() { Subgraph(Cycle(4), []int32{1, 1}) })
+	mustPanic("range", func() { Subgraph(Cycle(4), []int32{7}) })
+	mustPanic("empty factor", func() { CartesianProduct(&Graph{offsets: []int32{0}}, Cycle(3)) })
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(7) // hub + 6-cycle rim
+	requireValid(t, g)
+	if g.Degree(0) != 6 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	for v := int32(1); v < 7; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim degree %d at %d", g.Degree(v), v)
+		}
+	}
+	if g.M() != 12 || g.Diameter() != 2 {
+		t.Fatalf("wheel M=%d diam=%d", g.M(), g.Diameter())
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	requireValid(t, g)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K34 N=%d M=%d", g.N(), g.M())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("K_{a,b} not bipartite?!")
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Fatal("side structure wrong")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		Cycle(9),
+		Complete(5, true),
+		Star(6),
+		MargulisExpander(4),
+	}
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if back.Name() != g.Name() || !graphsEqual(g, back) {
+			t.Fatalf("%s: edge-list round trip mismatch", g.Name())
+		}
+	}
+}
+
+func TestEdgeListRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"3\n0 1\n",           // bad header
+		"3 1\n0 5\n",         // out of range
+		"3 2\n0 1\n",         // edge count mismatch
+		"3 1\nx y\n",         // non-numeric
+		"-1 0\n",             // negative n
+		"2 1\n0 1 2\n",       // bad arity
+		"# name x\n2 1\n0\n", // short edge line
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("corrupt input accepted: %q", c)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	graphs := []*Graph{
+		Cycle(100),
+		ErdosRenyi(80, 0.1, r),
+		Complete(10, true),
+	}
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if back.Name() != g.Name() || !graphsEqual(g, back) {
+			t.Fatalf("%s: binary round trip mismatch", g.Name())
+		}
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Cycle(5).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	// Flipped adjacency byte breaks symmetry -> Validate must catch it.
+	bad2 := append([]byte(nil), raw...)
+	bad2[len(bad2)-2] ^= 0x01
+	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("corrupt adjacency accepted")
+	}
+}
+
+func TestEdgeListPropertyRoundTrip(t *testing.T) {
+	check := func(seed uint16, n uint8) bool {
+		r := rng.NewStream(uint64(seed), 77)
+		g := ErdosRenyi(2+int(n)%20, 0.3, r)
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Cycle(3).WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph \"cycle(3)\"", "0 -- 1;", "1 -- 2;", "0 -- 2;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

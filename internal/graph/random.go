@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks/internal/rng"
+)
+
+// ErdosRenyi returns a sample of G(n, p), retrying from fresh randomness via
+// the provided source. Sampling uses geometric skipping, so the cost is
+// O(n + m) rather than O(n²) for sparse p. The result may be disconnected;
+// callers who need connectivity use ConnectedErdosRenyi.
+func ErdosRenyi(n int, p float64, r *rng.Source) *Graph {
+	if n < 1 || p < 0 || p > 1 {
+		panic("graph: ErdosRenyi requires n >= 1, p in [0,1]")
+	}
+	b := NewBuilder(n)
+	if p > 0 {
+		logq := math.Log1p(-p) // log(1-p), negative
+		if p == 1 {
+			return Complete(n, false)
+		}
+		// Enumerate pairs (u,v), u<v, in lexicographic order by skipping a
+		// Geometric(p) number of non-edges each time.
+		idx := int64(-1)
+		total := int64(n) * int64(n-1) / 2
+		for {
+			u := r.Float64()
+			// Geometric skip: floor(log(U)/log(1-p)).
+			skip := int64(math.Log(1-u) / logq)
+			idx += 1 + skip
+			if idx >= total {
+				break
+			}
+			// Decode linear index -> (row, col) over the upper triangle.
+			row, col := triangleDecode(idx, n)
+			b.AddEdge(int32(row), int32(col))
+		}
+	}
+	return b.Build(fmt.Sprintf("er(%d,p=%.4g)", n, p))
+}
+
+// triangleDecode maps a linear index over the strictly-upper-triangular
+// n×n pairs (in row-major order) back to (row, col) with row < col.
+func triangleDecode(idx int64, n int) (int, int) {
+	// Row r starts at offset r*n - r*(r+1)/2 - r ... solve by scanning from a
+	// good initial guess; n is at most a few million so float math positions
+	// us within a couple of rows.
+	nf := float64(n)
+	r := int((2*nf - 1 - math.Sqrt((2*nf-1)*(2*nf-1)-8*float64(idx))) / 2)
+	if r < 0 {
+		r = 0
+	}
+	rowStart := func(r int) int64 {
+		return int64(r)*int64(n) - int64(r)*int64(r+1)/2
+	}
+	for r > 0 && rowStart(r) > idx {
+		r--
+	}
+	for r+1 < n && rowStart(r+1) <= idx {
+		r++
+	}
+	c := r + 1 + int(idx-rowStart(r))
+	return r, c
+}
+
+// ConnectedErdosRenyi samples G(n,p) repeatedly until a connected instance
+// appears, up to maxTries attempts. The paper's Table 1 row concerns the
+// regime p >= (1+ε)·ln n / n where connectivity holds with high probability,
+// so a couple of tries suffice there.
+func ConnectedErdosRenyi(n int, p float64, r *rng.Source, maxTries int) (*Graph, error) {
+	for try := 0; try < maxTries; try++ {
+		g := ErdosRenyi(n, p, r)
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no connected G(%d,%.4g) in %d tries", n, p, maxTries)
+}
+
+// RandomRegular samples a simple d-regular graph on n vertices with the
+// configuration (pairing) model followed by edge-switch repair: defective
+// pairs (self-loops and parallel edges) are eliminated by double-edge swaps
+// with uniformly chosen partner edges. Repair preserves the degree sequence
+// exactly and perturbs the pairing distribution negligibly for the sizes
+// used here (the expander experiments certify the spectral gap of each
+// realized instance anyway, so no distributional assumption is load-bearing).
+// n·d must be even.
+func RandomRegular(n, d int, r *rng.Source, maxTries int) (*Graph, error) {
+	if d < 1 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: invalid regular parameters n=%d d=%d", n, d)
+	}
+	stubs := make([]int32, n*d)
+	for try := 0; try < maxTries; try++ {
+		for i := range stubs {
+			stubs[i] = int32(i / d)
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		if g, ok := repairPairing(stubs, n, d, r); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no simple %d-regular pairing on %d vertices in %d tries", d, n, maxTries)
+}
+
+// repairPairing turns the stub pairing (stubs[2i], stubs[2i+1]) into a simple
+// graph by repeatedly swapping a defective pair with a random other pair.
+// It gives up (ok=false) if repair stalls, which triggers a fresh pairing.
+func repairPairing(stubs []int32, n, d int, r *rng.Source) (*Graph, bool) {
+	nPairs := len(stubs) / 2
+	key := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	count := make(map[int64]int, nPairs)
+	defective := func(i int) bool {
+		u, v := stubs[2*i], stubs[2*i+1]
+		return u == v || count[key(u, v)] > 1
+	}
+	for i := 0; i < nPairs; i++ {
+		count[key(stubs[2*i], stubs[2*i+1])]++
+	}
+	var bad []int
+	for i := 0; i < nPairs; i++ {
+		if defective(i) {
+			bad = append(bad, i)
+		}
+	}
+	// Each successful switch strictly reduces defects or keeps them equal;
+	// cap the effort to avoid pathological stalls.
+	budget := 200 * (len(bad) + 1) * (d + 1)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		i := bad[len(bad)-1]
+		if !defective(i) {
+			bad = bad[:len(bad)-1]
+			continue
+		}
+		j := r.Intn(nPairs)
+		if j == i {
+			continue
+		}
+		u1, v1 := stubs[2*i], stubs[2*i+1]
+		u2, v2 := stubs[2*j], stubs[2*j+1]
+		// Propose the swap (u1,v1),(u2,v2) -> (u1,u2),(v1,v2).
+		if u1 == u2 || v1 == v2 {
+			continue
+		}
+		k1, k2 := key(u1, u2), key(v1, v2)
+		if count[k1] > 0 || count[k2] > 0 || (k1 == k2) {
+			continue
+		}
+		count[key(u1, v1)]--
+		count[key(u2, v2)]--
+		stubs[2*i+1], stubs[2*j] = u2, v1
+		count[k1]++
+		count[k2]++
+		if defective(j) {
+			bad = append(bad, j)
+		}
+	}
+	for i := 0; i < nPairs; i++ {
+		if defective(i) {
+			return nil, false
+		}
+	}
+	b := NewBuilder(n)
+	for i := 0; i < nPairs; i++ {
+		b.AddEdge(stubs[2*i], stubs[2*i+1])
+	}
+	return b.Build(fmt.Sprintf("regular(%d,d=%d)", n, d)), true
+}
+
+// ConnectedRandomRegular samples simple d-regular graphs until one is
+// connected. Random d-regular graphs with d >= 3 are connected (indeed
+// expanders) with high probability, so this rarely retries.
+func ConnectedRandomRegular(n, d int, r *rng.Source, maxTries int) (*Graph, error) {
+	for try := 0; try < maxTries; try++ {
+		g, err := RandomRegular(n, d, r, maxTries)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no connected %d-regular graph on %d vertices in %d tries", d, n, maxTries)
+}
+
+// RandomGeometric samples n points uniformly in the unit square and connects
+// pairs within Euclidean distance radius. A cell grid keeps construction
+// near O(n) for the connectivity-threshold radius Θ(√(log n / n)) studied in
+// the paper's reference [9]. It may be disconnected for small radii.
+func RandomGeometric(n int, radius float64, r *rng.Source) *Graph {
+	if n < 1 || radius <= 0 {
+		panic("graph: RandomGeometric requires n >= 1, radius > 0")
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	grid := make(map[[2]int][]int32)
+	for i := 0; i < n; i++ {
+		key := [2]int{cellOf(xs[i]), cellOf(ys[i])}
+		grid[key] = append(grid[key], int32(i))
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		ci, cj := cellOf(xs[i]), cellOf(ys[i])
+		for di := -1; di <= 1; di++ {
+			for dj := -1; dj <= 1; dj++ {
+				for _, j := range grid[[2]int{ci + di, cj + dj}] {
+					if int32(i) >= j {
+						continue
+					}
+					dx := xs[i] - xs[j]
+					dy := ys[i] - ys[j]
+					if dx*dx+dy*dy <= r2 {
+						b.AddEdge(int32(i), j)
+					}
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("rgg(%d,r=%.3f)", n, radius))
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in a plain text format:
+//
+//	# name <label>
+//	<n> <m>
+//	<u> <v>      (one line per undirected edge, u <= v, sorted)
+//
+// The format round-trips through ReadEdgeList and is diff-friendly for
+// storing experiment inputs.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name %s\n%d %d\n", g.Name(), g.N(), g.M()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u >= v { // each undirected edge once; self-loop has u == v
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	name := ""
+	var n, m int
+	header := false
+	var b *Builder
+	edges := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# name "); ok {
+				name = rest
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if !header {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: bad header %q", line)
+			}
+			var err error
+			if n, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+			}
+			if m, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("graph: bad edge count: %w", err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: negative sizes in header %q", line)
+			}
+			b = NewBuilder(n)
+			header = true
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", u, v)
+		}
+		b.AddEdge(int32(u), int32(v))
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: header promises %d edges, found %d", m, edges)
+	}
+	return b.Build(name), nil
+}
+
+// binaryMagic guards the binary format against foreign input.
+const binaryMagic = uint32(0x6d77616c) // "mwal"
+
+// WriteBinary writes a compact little-endian binary encoding: magic, name,
+// offsets and adjacency. It is the fast path for checkpointing large random
+// graph instances between experiment stages.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, binaryMagic); err != nil {
+		return err
+	}
+	nameBytes := []byte(g.Name())
+	if err := binary.Write(bw, le, uint32(len(nameBytes))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(nameBytes); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(g.N())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the WriteBinary format and validates the result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, err
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: unreasonable name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, le, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("graph: unreasonable vertex count %d", n)
+	}
+	g := &Graph{
+		offsets: make([]int32, n+1),
+		name:    string(nameBytes),
+	}
+	if err := binary.Read(br, le, &g.offsets); err != nil {
+		return nil, err
+	}
+	total := g.offsets[n]
+	if total < 0 {
+		return nil, fmt.Errorf("graph: negative adjacency length")
+	}
+	g.adj = make([]int32, total)
+	if err := binary.Read(br, le, &g.adj); err != nil {
+		return nil, err
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				g.loops++
+			}
+		}
+	}
+	g.m = (len(g.adj)-g.loops)/2 + g.loops
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt binary payload: %w", err)
+	}
+	return g, nil
+}
+
+// WriteDOT emits Graphviz DOT for small-graph visualization; self-loops and
+// each undirected edge appear once.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", g.Name()); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u >= v {
+				if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

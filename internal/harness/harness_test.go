@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"manywalks/internal/core"
+)
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+		Pass:    true,
+	}
+	out := r.Render()
+	for _, want := range []string{"== X: demo ==", "a note", "status: PASS", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.Render(), "status: FAIL") {
+		t.Fatal("FAIL status not rendered")
+	}
+}
+
+func TestFloatCell(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.14",
+		12345:   "1.23e+04",
+		0.001:   "0.001",
+	}
+	for v, want := range cases {
+		if got := f(v); got != want {
+			t.Fatalf("f(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFamilyByKey(t *testing.T) {
+	fam, err := FamilyByKey("cycle")
+	if err != nil || fam.Key != "cycle" {
+		t.Fatalf("cycle lookup: %v", err)
+	}
+	if _, err := FamilyByKey("nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if len(Table1Families()) != 7 {
+		t.Fatalf("Table 1 must have 7 rows, got %d", len(Table1Families()))
+	}
+}
+
+func TestGeometricKsFloor(t *testing.T) {
+	ks := geometricKs(2)
+	if len(ks) < 3 {
+		t.Fatalf("floor failed: %v", ks)
+	}
+	ks = geometricKs(64)
+	if ks[0] != 2 || ks[len(ks)-1] != 64 {
+		t.Fatalf("sweep %v", ks)
+	}
+}
+
+func TestRunTable1RowCycleQuick(t *testing.T) {
+	fam, _ := FamilyByKey("cycle")
+	row, err := RunTable1Row(fam, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.N != 64 {
+		t.Fatalf("quick cycle n = %d", row.N)
+	}
+	// Exact values for the cycle: C = n(n-1)/2 = 2016, hmax = n²/4 = 1024.
+	if math.Abs(row.Hmax-1024) > 1e-6 {
+		t.Fatalf("hmax = %v", row.Hmax)
+	}
+	if c := row.Cover.Mean(); c < 1600 || c > 2450 {
+		t.Fatalf("cycle cover estimate %v far from 2016", c)
+	}
+	if row.Classification.Regime != core.RegimeLogarithmic {
+		t.Fatalf("cycle regime %v", row.Classification.Regime)
+	}
+	if !row.LazyMixing || row.MixingTime <= 0 {
+		t.Fatalf("cycle mixing: lazy=%v tm=%d", row.LazyMixing, row.MixingTime)
+	}
+}
+
+func TestRunTable1RowCompleteQuick(t *testing.T) {
+	fam, _ := FamilyByKey("complete")
+	row, err := RunTable1Row(fam, QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MixingTime != 1 {
+		t.Fatalf("complete graph t_m = %d, want 1", row.MixingTime)
+	}
+	if row.Classification.Regime != core.RegimeLinear {
+		t.Fatalf("complete regime %v", row.Classification.Regime)
+	}
+	if math.Abs(row.Hmax-63) > 1e-6 {
+		t.Fatalf("complete hmax = %v, want 63", row.Hmax)
+	}
+}
+
+func TestRunTable1AllFamiliesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table in -short mode")
+	}
+	rep, rows, err := RunTable1(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("Table 1 regime checks failed:\n%s", rep.Render())
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Cover.Truncated > row.Cover.Summary.N/10 {
+			t.Fatalf("%s: %d/%d truncated cover trials",
+				row.Family.Key, row.Cover.Truncated, row.Cover.Summary.N)
+		}
+	}
+}
+
+func TestBarbellFigureQuick(t *testing.T) {
+	rep, err := RunBarbellFigure(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("barbell experiment failed:\n%s", rep.Render())
+	}
+}
+
+func TestTheorem6FitQuick(t *testing.T) {
+	rep, err := RunTheorem6CycleFit(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("theorem 6 fit failed:\n%s", rep.Render())
+	}
+}
+
+func TestTheorem8SpectrumQuick(t *testing.T) {
+	rep, err := RunTheorem8GridSpectrum(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("theorem 8 spectrum failed:\n%s", rep.Render())
+	}
+}
+
+func TestBoundExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bound suite in -short mode")
+	}
+	for _, run := range []func(Config) (*Report, error){
+		RunTheorem13BabyMatthews,
+		RunTheorem9MixingBound,
+		RunTheorem1Matthews,
+		RunTheorem14Bound,
+		RunLemma22CycleBounds,
+		RunProposition23,
+		RunConjecture11Probe,
+	} {
+		rep, err := run(QuickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("experiment %s failed:\n%s", rep.ID, rep.Render())
+		}
+	}
+}
+
+func TestBehavioralExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("behavioral suite in -short mode")
+	}
+	for _, run := range []func(Config) (*Report, error){
+		RunTheorem17Concentration,
+		RunLemma19ExpanderVisit,
+		RunConjecture10Probe,
+		RunTheorem24GridLowerBound,
+		RunPartialCoverTail,
+		RunLollipopWorstCase,
+		RunExtraFamilies,
+		RunCoverageProfile,
+		RunSearchTradeoff,
+		RunAblationStartDistribution,
+		RunAblationLazyWalk,
+		RunChurnRobustness,
+		RunAblationNonBacktracking,
+	} {
+		rep, err := run(QuickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("experiment %s failed:\n%s", rep.ID, rep.Render())
+		}
+	}
+}
+
+func TestAllExperimentsProduceDistinctIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	reports, err := AllExperiments(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Rows) == 0 {
+			t.Fatalf("experiment %s produced no rows", r.ID)
+		}
+	}
+	if len(reports) != 23 {
+		t.Fatalf("expected 23 experiments, got %d", len(reports))
+	}
+}
+
+func TestConfigSaltSeparatesStreams(t *testing.T) {
+	c := DefaultConfig()
+	a := c.mc(1, 100)
+	b := c.mc(2, 100)
+	if a.Seed == b.Seed {
+		t.Fatal("salts did not separate seeds")
+	}
+}
+
+func TestHashKeyStable(t *testing.T) {
+	if hashKey("cycle") != hashKey("cycle") {
+		t.Fatal("hashKey unstable")
+	}
+	if hashKey("cycle") == hashKey("torus") {
+		t.Fatal("hashKey collision on distinct keys")
+	}
+}

@@ -1,0 +1,81 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearOperator is any symmetric positive-(semi)definite operator usable by
+// the conjugate-gradient solver; it computes out = A·x without materializing
+// A.
+type LinearOperator interface {
+	Dim() int
+	Apply(x, out []float64)
+}
+
+// CGOptions tunes ConjugateGradient.
+type CGOptions struct {
+	MaxIters int     // 0 = 10·dim
+	Tol      float64 // relative residual target; 0 = 1e-10
+}
+
+// ConjugateGradient solves A·x = b for symmetric positive-definite A (or a
+// positive-semidefinite A with b orthogonal to its null space, the grounded-
+// Laplacian case). It returns the solution, the iterations used, and the
+// final relative residual.
+func ConjugateGradient(a LinearOperator, b []float64, opts CGOptions) ([]float64, int, float64, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, 0, 0, fmt.Errorf("linalg: CG dimension mismatch")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 10 * n
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		return make([]float64, n), 0, 0, nil
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // residual b - A·0
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	rsOld := Dot(r, r)
+	for it := 1; it <= opts.MaxIters; it++ {
+		a.Apply(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, it, math.Sqrt(rsOld) / bNorm,
+				fmt.Errorf("linalg: CG operator not positive definite (pᵀAp=%v)", pap)
+		}
+		alpha := rsOld / pap
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		if math.Sqrt(rsNew)/bNorm < opts.Tol {
+			return x, it, math.Sqrt(rsNew) / bNorm, nil
+		}
+		beta := rsNew / rsOld
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsOld = rsNew
+	}
+	return x, opts.MaxIters, math.Sqrt(rsOld) / bNorm,
+		fmt.Errorf("linalg: CG did not converge in %d iterations (residual %.3g)",
+			opts.MaxIters, math.Sqrt(rsOld)/bNorm)
+}
+
+// DenseOperator adapts a dense Matrix to LinearOperator.
+type DenseOperator struct{ M *Matrix }
+
+// Dim returns the operator dimension.
+func (d DenseOperator) Dim() int { return d.M.Rows }
+
+// Apply computes out = M·x.
+func (d DenseOperator) Apply(x, out []float64) {
+	y := d.M.MatVec(x)
+	copy(out, y)
+}

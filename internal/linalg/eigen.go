@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"math"
+
+	"manywalks/internal/rng"
+)
+
+// SecondEigenvalueMagnitude estimates λ := max(|λ₂|, |λₙ|) of the walk
+// operator — the quantity the paper calls λ for an (n,d,λ)-graph, divided by
+// d (the paper's λ is on the adjacency scale; ours is on the transition
+// scale, i.e. paper-λ/d). It runs norm-based power iteration on the
+// symmetric similar matrix S with the known top eigenvector (∝ √deg)
+// deflated. Convergence is geometric with ratio λ₃/λ₂; iters=O(log n / gap)
+// is ample for the graphs used here.
+//
+// The norm-growth estimator is used instead of a Rayleigh quotient because
+// it converges to max|λᵢ| even when λ₂ and λₙ have opposite signs and equal
+// magnitude (e.g. bipartite graphs, where the estimate tends to 1).
+func SecondEigenvalueMagnitude(op *WalkOperator, iters int, r *rng.Source) float64 {
+	n := op.N()
+	if n == 1 {
+		return 0
+	}
+	// Top eigenvector of S: u1(v) = sqrt(deg v), normalized.
+	u1 := make([]float64, n)
+	for v := 0; v < n; v++ {
+		u1[v] = 1 / op.sqrtInvDeg[v]
+	}
+	Normalize(u1)
+
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+	Orthogonalize(x, u1)
+	if Normalize(x) == 0 {
+		// Astronomically unlikely; restart deterministically.
+		x[0], x[n-1] = 1, -1
+		Orthogonalize(x, u1)
+		Normalize(x)
+	}
+	y := make([]float64, n)
+	est := 0.0
+	for it := 0; it < iters; it++ {
+		op.ApplySym(x, y)
+		// Re-deflate every step: floating-point drift re-introduces a u1
+		// component that would otherwise swamp the estimate.
+		Orthogonalize(y, u1)
+		est = Normalize(y)
+		x, y = y, x
+	}
+	return est
+}
+
+// SpectralGap returns 1 - SecondEigenvalueMagnitude, the absolute spectral
+// gap of the walk; the relaxation time is its reciprocal.
+func SpectralGap(op *WalkOperator, iters int, r *rng.Source) float64 {
+	return 1 - SecondEigenvalueMagnitude(op, iters, r)
+}
+
+// SymmetricEigenvalues computes all eigenvalues of a symmetric matrix with
+// the cyclic Jacobi method, returned in descending order. It is O(n³) per
+// sweep and meant for validation on small matrices (tests compare it with
+// the power-iteration estimate). The input is not modified.
+func SymmetricEigenvalues(a *Matrix, sweeps int) []float64 {
+	if a.Rows != a.Cols {
+		panic("linalg: SymmetricEigenvalues requires square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	for s := 0; s < sweeps; s++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m.At(p, q) * m.At(p, q)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				// Rotate rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-sn*akq)
+					m.Set(k, q, sn*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-sn*aqk)
+					m.Set(q, k, sn*apk+c*aqk)
+				}
+			}
+		}
+	}
+	eig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eig[i] = m.At(i, i)
+	}
+	// Descending insertion sort; n is small here.
+	for i := 1; i < n; i++ {
+		v := eig[i]
+		j := i - 1
+		for j >= 0 && eig[j] < v {
+			eig[j+1] = eig[j]
+			j--
+		}
+		eig[j+1] = v
+	}
+	return eig
+}
+
+// SymmetricWalkMatrix returns the dense symmetric matrix S similar to the
+// walk operator, for use with SymmetricEigenvalues in validation.
+func SymmetricWalkMatrix(op *WalkOperator) *Matrix {
+	n := op.N()
+	s := NewMatrix(n, n)
+	move := 1 - op.stay
+	for v := 0; v < n; v++ {
+		s.Add(v, v, op.stay)
+		for _, u := range op.g.Neighbors(int32(v)) {
+			s.Add(v, int(u), move*op.sqrtInvDeg[v]*op.sqrtInvDeg[u])
+		}
+	}
+	return s
+}

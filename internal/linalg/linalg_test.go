@@ -1,0 +1,369 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// 3x3 system with known solution (1, -2, 3).
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j, v := range vals[i] {
+			a.Set(i, j, v)
+		}
+	}
+	x := []float64{1, -2, 3}
+	b := a.MatVec(x)
+	got, err := SolveSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEqual(got[i], x[i], 1e-10) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestLUSolveRandomSystems(t *testing.T) {
+	r := rng.New(42)
+	check := func(dim uint8) bool {
+		n := 1 + int(dim)%20
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()*2 - 1
+		}
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*10 - 5
+		}
+		b := a.MatVec(x)
+		got, err := SolveSystem(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("singular matrix not detected")
+	}
+}
+
+func TestLUInverseAndDet(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 7)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 6)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), 10, 1e-12) {
+		t.Fatalf("det = %v, want 10", f.Det())
+	}
+	inv := f.Inverse()
+	prod := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-12) {
+				t.Fatalf("A·A⁻¹[%d][%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero in the leading position forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	got, err := SolveSystem(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got[0], 5, 1e-12) || !almostEqual(got[1], 3, 1e-12) {
+		t.Fatalf("pivoted solve got %v", got)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm2(a) != 5 {
+		t.Fatal("Norm2")
+	}
+	if Norm1(a) != 7 {
+		t.Fatal("Norm1")
+	}
+	if NormInf([]float64{-9, 2}) != 9 {
+		t.Fatal("NormInf")
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatal("AXPY")
+	}
+	v := []float64{0, 3}
+	if !almostEqual(Normalize(v), 3, 1e-15) || v[1] != 1 {
+		t.Fatal("Normalize")
+	}
+	if L1Distance([]float64{1, 2}, []float64{0, 4}) != 3 {
+		t.Fatal("L1Distance")
+	}
+}
+
+func TestOrthogonalize(t *testing.T) {
+	q := []float64{1, 0, 0}
+	v := []float64{5, 2, -1}
+	Orthogonalize(v, q)
+	if v[0] != 0 || v[1] != 2 || v[2] != -1 {
+		t.Fatalf("Orthogonalize got %v", v)
+	}
+}
+
+func TestEvolveDistPreservesMassAndStationarity(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(9),
+		graph.Complete(8, false),
+		graph.Star(7),
+		graph.Torus2D(4),
+	}
+	for _, g := range graphs {
+		op := NewWalkOperator(g, 0)
+		pi := op.StationaryDistribution()
+		sum := 0.0
+		for _, p := range pi {
+			sum += p
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Fatalf("%s: stationary sum %v", g.Name(), sum)
+		}
+		out := make([]float64, g.N())
+		op.EvolveDist(pi, out)
+		for v := range pi {
+			if !almostEqual(out[v], pi[v], 1e-12) {
+				t.Fatalf("%s: π not stationary at %d: %v vs %v", g.Name(), v, out[v], pi[v])
+			}
+		}
+		// Mass conservation from a point mass.
+		p := make([]float64, g.N())
+		p[0] = 1
+		op.EvolveDist(p, out)
+		mass := 0.0
+		for _, v := range out {
+			mass += v
+		}
+		if !almostEqual(mass, 1, 1e-12) {
+			t.Fatalf("%s: mass %v after one step", g.Name(), mass)
+		}
+	}
+}
+
+func TestEvolveDistMatchesDense(t *testing.T) {
+	g := graph.Torus2D(3)
+	for _, stay := range []float64{0, 0.5} {
+		op := NewWalkOperator(g, stay)
+		dense := op.Dense()
+		p := make([]float64, g.N())
+		p[4] = 1
+		sparseOut := make([]float64, g.N())
+		op.EvolveDist(p, sparseOut)
+		// Dense: out[u] = Σ_v p[v]·P[v][u] — row-vector times matrix.
+		for u := 0; u < g.N(); u++ {
+			s := 0.0
+			for v := 0; v < g.N(); v++ {
+				s += p[v] * dense.At(v, u)
+			}
+			if !almostEqual(sparseOut[u], s, 1e-12) {
+				t.Fatalf("stay=%v: mismatch at %d: %v vs %v", stay, u, sparseOut[u], s)
+			}
+		}
+	}
+}
+
+func TestDenseRowsAreStochastic(t *testing.T) {
+	g := graph.Complete(6, true) // with self-loops
+	op := NewWalkOperator(g, 0.3)
+	d := op.Dense()
+	for i := 0; i < g.N(); i++ {
+		s := 0.0
+		for j := 0; j < g.N(); j++ {
+			s += d.At(i, j)
+		}
+		if !almostEqual(s, 1, 1e-12) {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSecondEigenvalueCompleteGraph(t *testing.T) {
+	// K_n (no loops): P = (J-I)/(n-1); eigenvalues 1 and -1/(n-1).
+	n := 20
+	g := graph.Complete(n, false)
+	op := NewWalkOperator(g, 0)
+	got := SecondEigenvalueMagnitude(op, 300, rng.New(1))
+	want := 1.0 / float64(n-1)
+	if !almostEqual(got, want, 1e-6) {
+		t.Fatalf("K%d λ = %v, want %v", n, got, want)
+	}
+}
+
+func TestSecondEigenvalueCycle(t *testing.T) {
+	// Cycle C_n: eigenvalues cos(2πk/n); λ₂ = cos(2π/n).
+	n := 16
+	op := NewWalkOperator(graph.Cycle(n), 0)
+	got := SecondEigenvalueMagnitude(op, 4000, rng.New(2))
+	// Even cycle is bipartite: λ_n = -1 dominates, so magnitude -> 1.
+	if !almostEqual(got, 1, 1e-3) {
+		t.Fatalf("even cycle λ = %v, want ~1 (bipartite)", got)
+	}
+	// Lazy walk kills periodicity: λ = 1/2 + cos(2π/n)/2.
+	opLazy := NewWalkOperator(graph.Cycle(n), 0.5)
+	gotLazy := SecondEigenvalueMagnitude(opLazy, 4000, rng.New(3))
+	wantLazy := 0.5 + math.Cos(2*math.Pi/float64(n))/2
+	if !almostEqual(gotLazy, wantLazy, 1e-4) {
+		t.Fatalf("lazy cycle λ = %v, want %v", gotLazy, wantLazy)
+	}
+}
+
+func TestSecondEigenvalueMatchesJacobi(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Torus2D(4),
+		graph.Star(9),
+		graph.MargulisExpander(4),
+		graph.Lollipop(6, 4),
+	}
+	r := rng.New(11)
+	for _, g := range graphs {
+		op := NewWalkOperator(g, 0.5)
+		power := SecondEigenvalueMagnitude(op, 3000, r)
+		eigs := SymmetricEigenvalues(SymmetricWalkMatrix(op), 60)
+		// Jacobi's λ: second largest magnitude among all but the top (=1).
+		if !almostEqual(eigs[0], 1, 1e-8) {
+			t.Fatalf("%s: top eigenvalue %v != 1", g.Name(), eigs[0])
+		}
+		want := 0.0
+		for i, e := range eigs {
+			if i == 0 {
+				continue
+			}
+			if math.Abs(e) > want {
+				want = math.Abs(e)
+			}
+		}
+		if !almostEqual(power, want, 1e-3) {
+			t.Fatalf("%s: power λ=%v, jacobi λ=%v", g.Name(), power, want)
+		}
+	}
+}
+
+func TestJacobiKnownEigenvalues(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	eig := SymmetricEigenvalues(a, 30)
+	if !almostEqual(eig[0], 3, 1e-10) || !almostEqual(eig[1], 1, 1e-10) {
+		t.Fatalf("eigs %v", eig)
+	}
+}
+
+func TestExpanderHasLargeGap(t *testing.T) {
+	// The Margulis construction must show a healthy spectral gap; this
+	// certifies the expander generator for the Table 1 experiments.
+	g := graph.MargulisExpander(12) // 144 vertices
+	op := NewWalkOperator(g, 0)
+	lambda := SecondEigenvalueMagnitude(op, 2000, rng.New(4))
+	if lambda > 0.95 {
+		t.Fatalf("margulis λ = %v: no usable spectral gap", lambda)
+	}
+	gap := SpectralGap(op, 2000, rng.New(4))
+	if !almostEqual(gap, 1-lambda, 1e-9) {
+		t.Fatalf("gap inconsistent: %v vs %v", gap, 1-lambda)
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("MatVec", func() { NewMatrix(2, 2).MatVec([]float64{1}) })
+	mustPanic("Mul", func() { NewMatrix(2, 3).Mul(NewMatrix(2, 2)) })
+	mustPanic("Dot", func() { Dot([]float64{1}, []float64{1, 2}) })
+	mustPanic("stay", func() { NewWalkOperator(graph.Cycle(3), 1.0) })
+	mustPanic("NewMatrix", func() { NewMatrix(-1, 2) })
+}
+
+func BenchmarkEvolveDistTorus32(b *testing.B) {
+	g := graph.Torus2D(32)
+	op := NewWalkOperator(g, 0)
+	p := op.StationaryDistribution()
+	out := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.EvolveDist(p, out)
+		p, out = out, p
+	}
+}
+
+func BenchmarkLUFactor128(b *testing.B) {
+	r := rng.New(1)
+	a := NewMatrix(128, 128)
+	for i := range a.Data {
+		a.Data[i] = r.Float64()
+	}
+	for i := 0; i < 128; i++ {
+		a.Add(i, i, 130)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package linalg
+
+import (
+	"math"
+
+	"manywalks/internal/graph"
+)
+
+// WalkOperator is the (possibly lazy) simple-random-walk transition operator
+// of a graph in sparse form: P = stay·I + (1-stay)·D^{-1}A. Distributions are
+// row vectors and evolve as p ← pP; EvolveDist implements exactly that
+// without materializing the n×n matrix.
+type WalkOperator struct {
+	g          *graph.Graph
+	stay       float64   // self-transition probability added uniformly (laziness)
+	invDeg     []float64 // 1/deg(v), cached
+	sqrtInvDeg []float64 // 1/sqrt(deg(v)), cached for the symmetric operator
+}
+
+// NewWalkOperator returns the operator for the simple random walk on g.
+// stay is the laziness: 0 gives the paper's simple walk, 0.5 the standard
+// lazy walk that removes periodicity on bipartite graphs. Vertices of degree
+// zero would make the walk undefined; the constructor panics on them.
+func NewWalkOperator(g *graph.Graph, stay float64) *WalkOperator {
+	if stay < 0 || stay >= 1 {
+		panic("linalg: stay probability must be in [0,1)")
+	}
+	n := g.N()
+	inv := make([]float64, n)
+	sqrtInv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
+		if d == 0 {
+			panic("linalg: walk operator on graph with isolated vertex")
+		}
+		inv[v] = 1 / float64(d)
+		sqrtInv[v] = math.Sqrt(inv[v])
+	}
+	return &WalkOperator{g: g, stay: stay, invDeg: inv, sqrtInvDeg: sqrtInv}
+}
+
+// N returns the dimension.
+func (op *WalkOperator) N() int { return op.g.N() }
+
+// Stay returns the laziness parameter.
+func (op *WalkOperator) Stay() float64 { return op.stay }
+
+// EvolveDist computes out = p·P for a distribution (row vector) p.
+// out must have length n and may not alias p.
+func (op *WalkOperator) EvolveDist(p, out []float64) {
+	n := op.g.N()
+	if len(p) != n || len(out) != n {
+		panic("linalg: EvolveDist dimension mismatch")
+	}
+	move := 1 - op.stay
+	for v := range out {
+		out[v] = op.stay * p[v]
+	}
+	for v := 0; v < n; v++ {
+		if p[v] == 0 {
+			continue
+		}
+		w := move * p[v] * op.invDeg[v]
+		for _, u := range op.g.Neighbors(int32(v)) {
+			out[u] += w
+		}
+	}
+}
+
+// ApplySym computes out = S·x where S = stay·I + (1-stay)·D^{-1/2}AD^{-1/2}
+// is the symmetric matrix similar to P. S and P share eigenvalues; the top
+// eigenvector of S is proportional to sqrt(deg). out must not alias x.
+func (op *WalkOperator) ApplySym(x, out []float64) {
+	n := op.g.N()
+	if len(x) != n || len(out) != n {
+		panic("linalg: ApplySym dimension mismatch")
+	}
+	move := 1 - op.stay
+	for v := 0; v < n; v++ {
+		s := 0.0
+		for _, u := range op.g.Neighbors(int32(v)) {
+			// A_vu / sqrt(d_v d_u), split across the two cached factors.
+			s += x[u] * op.sqrtInvDeg[u]
+		}
+		out[v] = op.stay*x[v] + move*s*op.sqrtInvDeg[v]
+	}
+}
+
+// StationaryDistribution returns π with π(v) ∝ deg(v); laziness does not
+// change the stationary distribution.
+func (op *WalkOperator) StationaryDistribution() []float64 {
+	n := op.g.N()
+	pi := make([]float64, n)
+	total := float64(op.g.TotalDegree())
+	for v := 0; v < n; v++ {
+		pi[v] = float64(op.g.Degree(int32(v))) / total
+	}
+	return pi
+}
+
+// Dense materializes P as a dense matrix; intended for tests and for the
+// fundamental-matrix computation on moderate n.
+func (op *WalkOperator) Dense() *Matrix {
+	n := op.g.N()
+	m := NewMatrix(n, n)
+	move := 1 - op.stay
+	for v := 0; v < n; v++ {
+		m.Add(v, v, op.stay)
+		w := move * op.invDeg[v]
+		for _, u := range op.g.Neighbors(int32(v)) {
+			m.Add(v, int(u), w)
+		}
+	}
+	return m
+}

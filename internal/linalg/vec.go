@@ -1,0 +1,84 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Norm1 returns the L1 norm.
+func Norm1(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the max-abs norm.
+func NormInf(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > s {
+			s = av
+		}
+	}
+	return s
+}
+
+// Scale multiplies a in place by f and returns it.
+func Scale(a []float64, f float64) []float64 {
+	for i := range a {
+		a[i] *= f
+	}
+	return a
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Normalize scales a to unit Euclidean norm in place; zero vectors are left
+// unchanged. Returns the original norm.
+func Normalize(a []float64) float64 {
+	n := Norm2(a)
+	if n > 0 {
+		Scale(a, 1/n)
+	}
+	return n
+}
+
+// Orthogonalize removes from v its component along the unit vector q.
+func Orthogonalize(v, q []float64) {
+	AXPY(-Dot(v, q), q, v)
+}
+
+// L1Distance returns Σ|a_i - b_i|, the distance used by the paper's mixing
+// time definition (twice the total-variation distance).
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: L1Distance length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+// Package markov provides general finite-Markov-chain analysis over dense
+// transition matrices: stationary distributions, distribution evolution, and
+// absorbing-chain computations (expected absorption times and absorption
+// probabilities via the fundamental matrix N = (I−Q)⁻¹). The random-walk
+// machinery in internal/exact is a special case; this package provides the
+// general tool and serves as an independent cross-check of those solvers.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+)
+
+// Chain is a finite Markov chain with a dense row-stochastic transition
+// matrix P: P[i][j] = Pr[next = j | current = i].
+type Chain struct {
+	p *linalg.Matrix
+}
+
+// New validates that p is square and row-stochastic and wraps it in a Chain.
+func New(p *linalg.Matrix) (*Chain, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("markov: transition matrix must be square, got %dx%d", p.Rows, p.Cols)
+	}
+	for i := 0; i < p.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < p.Cols; j++ {
+			v := p.At(i, j)
+			if v < -1e-12 {
+				return nil, fmt.Errorf("markov: negative entry P[%d][%d] = %v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: row %d sums to %v", i, sum)
+		}
+	}
+	return &Chain{p: p.Clone()}, nil
+}
+
+// FromWalk returns the chain of the (lazy) simple random walk on g.
+func FromWalk(g *graph.Graph, stay float64) *Chain {
+	return &Chain{p: linalg.NewWalkOperator(g, stay).Dense()}
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.p.Rows }
+
+// P returns transition probability i -> j.
+func (c *Chain) P(i, j int) float64 { return c.p.At(i, j) }
+
+// Step evolves a distribution one step: out = dist·P.
+func (c *Chain) Step(dist []float64) []float64 {
+	n := c.N()
+	if len(dist) != n {
+		panic("markov: Step dimension mismatch")
+	}
+	out := make([]float64, n)
+	for i, pi := range dist {
+		if pi == 0 {
+			continue
+		}
+		row := c.p.Data[i*n : (i+1)*n]
+		for j, pij := range row {
+			out[j] += pi * pij
+		}
+	}
+	return out
+}
+
+// Stationary estimates the stationary distribution by iterated squaring of
+// the distribution update from the uniform start; it requires an ergodic
+// (irreducible, aperiodic) chain to converge and returns an error when the
+// iteration fails to settle.
+func (c *Chain) Stationary(maxIters int, tol float64) ([]float64, error) {
+	n := c.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = 1 / float64(n)
+	}
+	for it := 0; it < maxIters; it++ {
+		next := c.Step(dist)
+		if linalg.L1Distance(next, dist) < tol {
+			return next, nil
+		}
+		dist = next
+	}
+	return nil, fmt.Errorf("markov: stationary iteration did not converge in %d steps", maxIters)
+}
+
+// Absorbing analyzes a chain with a designated absorbing subset: transitions
+// out of absorbing states are ignored (treated as self-loops), and the
+// fundamental matrix over transient states answers time-to-absorption and
+// absorption-probability queries.
+type Absorbing struct {
+	chain     *Chain
+	absorbing map[int]bool
+	transient []int       // transient state ids in order
+	index     map[int]int // state id -> row in the transient system
+	factored  *linalg.LU  // LU of (I - Q)
+}
+
+// NewAbsorbing prepares the absorbing-chain analysis. The absorbing set must
+// be non-empty and leave at least one transient state reachable.
+func NewAbsorbing(c *Chain, absorbing []int) (*Absorbing, error) {
+	if len(absorbing) == 0 {
+		return nil, fmt.Errorf("markov: empty absorbing set")
+	}
+	a := &Absorbing{chain: c, absorbing: map[int]bool{}, index: map[int]int{}}
+	for _, s := range absorbing {
+		if s < 0 || s >= c.N() {
+			return nil, fmt.Errorf("markov: absorbing state %d out of range", s)
+		}
+		a.absorbing[s] = true
+	}
+	for s := 0; s < c.N(); s++ {
+		if !a.absorbing[s] {
+			a.index[s] = len(a.transient)
+			a.transient = append(a.transient, s)
+		}
+	}
+	if len(a.transient) == 0 {
+		return nil, fmt.Errorf("markov: no transient states")
+	}
+	t := len(a.transient)
+	m := linalg.Identity(t)
+	for i, s := range a.transient {
+		for j, s2 := range a.transient {
+			m.Add(i, j, -c.P(s, s2))
+		}
+	}
+	f, err := linalg.Factor(m)
+	if err != nil {
+		return nil, fmt.Errorf("markov: absorption unreachable from some transient state: %w", err)
+	}
+	a.factored = f
+	return a, nil
+}
+
+// ExpectedSteps returns, for every state, the expected number of steps until
+// absorption (0 for absorbing states): the solution of (I−Q)t = 1.
+func (a *Absorbing) ExpectedSteps() []float64 {
+	t := len(a.transient)
+	ones := make([]float64, t)
+	for i := range ones {
+		ones[i] = 1
+	}
+	sol := a.factored.Solve(ones)
+	out := make([]float64, a.chain.N())
+	for i, s := range a.transient {
+		out[s] = sol[i]
+	}
+	return out
+}
+
+// AbsorptionProbabilities returns, for every state, the probability of being
+// absorbed at target (which must be an absorbing state): the solution of
+// (I−Q)b = R·e_target.
+func (a *Absorbing) AbsorptionProbabilities(target int) ([]float64, error) {
+	if !a.absorbing[target] {
+		return nil, fmt.Errorf("markov: %d is not absorbing", target)
+	}
+	t := len(a.transient)
+	rhs := make([]float64, t)
+	for i, s := range a.transient {
+		rhs[i] = a.chain.P(s, target)
+	}
+	sol := a.factored.Solve(rhs)
+	out := make([]float64, a.chain.N())
+	for i, s := range a.transient {
+		out[s] = sol[i]
+	}
+	out[target] = 1
+	return out, nil
+}
+
+// HittingTimeVia computes h(u, v) on a graph walk through the absorbing-
+// chain machinery — an independent cross-check of the fundamental-matrix
+// solver in internal/exact.
+func HittingTimeVia(g *graph.Graph, u, v int32) (float64, error) {
+	c := FromWalk(g, 0)
+	abs, err := NewAbsorbing(c, []int{int(v)})
+	if err != nil {
+		return 0, err
+	}
+	return abs.ExpectedSteps()[u], nil
+}

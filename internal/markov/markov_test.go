@@ -1,0 +1,220 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"manywalks/internal/exact"
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+)
+
+func TestNewValidatesStochasticity(t *testing.T) {
+	p := linalg.NewMatrix(2, 2)
+	p.Set(0, 0, 0.5)
+	p.Set(0, 1, 0.5)
+	p.Set(1, 0, 0.3)
+	p.Set(1, 1, 0.6) // row sums to 0.9
+	if _, err := New(p); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	p.Set(1, 1, 0.7)
+	if _, err := New(p); err != nil {
+		t.Fatal(err)
+	}
+	bad := linalg.NewMatrix(2, 3)
+	if _, err := New(bad); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	neg := linalg.NewMatrix(1, 1)
+	neg.Set(0, 0, 1)
+	if _, err := New(neg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepConservesMass(t *testing.T) {
+	c := FromWalk(graph.Lollipop(5, 3), 0)
+	dist := make([]float64, c.N())
+	dist[0] = 1
+	for i := 0; i < 50; i++ {
+		dist = c.Step(dist)
+	}
+	sum := 0.0
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mass %v", sum)
+	}
+}
+
+func TestStationaryMatchesDegrees(t *testing.T) {
+	g := graph.Star(6) // lazy walk: aperiodic, π(center) = 1/2
+	c := FromWalk(g, 0.5)
+	pi, err := c.Stationary(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-6 {
+		t.Fatalf("π(center) = %v", pi[0])
+	}
+	for v := 1; v < 6; v++ {
+		if math.Abs(pi[v]-0.1) > 1e-6 {
+			t.Fatalf("π(leaf %d) = %v", v, pi[v])
+		}
+	}
+}
+
+func TestStationaryFailsOnPeriodicChain(t *testing.T) {
+	// The simple walk on an even cycle is periodic: the uniform start is
+	// actually stationary (it converges trivially), so use a two-state flip
+	// chain from a non-uniform start... the uniform start is stationary
+	// there too. Use a 2-cycle chain queried with tiny iteration budget and
+	// a point-mass-like asymmetric chain instead: P = [[0,1],[1,0]] from
+	// uniform IS stationary, so instead verify convergence failure via a
+	// rotating 3-state deterministic cycle queried for stationarity with a
+	// deliberately perturbed start: the Step iteration from uniform stays
+	// uniform, so Stationary succeeds — periodicity is invisible from the
+	// uniform start. This test therefore just documents that behaviour.
+	p := linalg.NewMatrix(3, 3)
+	p.Set(0, 1, 1)
+	p.Set(1, 2, 1)
+	p.Set(2, 0, 1)
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary(100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pi {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("rotation stationary %v", pi)
+		}
+	}
+}
+
+func TestGamblersRuin(t *testing.T) {
+	// Symmetric walk on a path with absorbing endpoints: from state i the
+	// probability of absorbing at the right end (n-1) is i/(n-1) and the
+	// expected duration is i·(n-1-i).
+	n := 9
+	g := graph.Path(n)
+	c := FromWalk(g, 0)
+	abs, err := NewAbsorbing(c, []int{0, n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := abs.ExpectedSteps()
+	probRight, err := abs.AbsorptionProbabilities(n - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n-1; i++ {
+		wantP := float64(i) / float64(n-1)
+		if math.Abs(probRight[i]-wantP) > 1e-9 {
+			t.Fatalf("ruin prob from %d = %v, want %v", i, probRight[i], wantP)
+		}
+		wantT := float64(i * (n - 1 - i))
+		if math.Abs(steps[i]-wantT) > 1e-9 {
+			t.Fatalf("ruin duration from %d = %v, want %v", i, steps[i], wantT)
+		}
+	}
+	if steps[0] != 0 || probRight[n-1] != 1 {
+		t.Fatal("absorbing boundary values")
+	}
+}
+
+func TestAbsorptionProbabilitiesSumToOne(t *testing.T) {
+	g := graph.Torus2D(4)
+	c := FromWalk(g, 0)
+	targets := []int{0, 5, 10}
+	abs, err := NewAbsorbing(c, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := make([]float64, c.N())
+	for _, tgt := range targets {
+		p, err := abs.AbsorptionProbabilities(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, v := range p {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("probability %v at state %d", v, s)
+			}
+			if !contains(targets, s) {
+				total[s] += v
+			}
+		}
+	}
+	for s, v := range total {
+		if contains(targets, s) {
+			continue
+		}
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("absorption probs from %d sum to %v", s, v)
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHittingTimeMatchesFundamentalMatrix(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(11),
+		graph.Complete(7, false),
+		graph.Lollipop(5, 4),
+		graph.Wheel(8),
+	}
+	for _, g := range graphs {
+		ht, err := exact.ComputeHittingTimes(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := [][2]int32{{0, 1}, {1, int32(g.N() - 1)}, {int32(g.N() / 2), 0}}
+		for _, pr := range pairs {
+			if pr[0] == pr[1] {
+				continue
+			}
+			got, err := HittingTimeVia(g, pr[0], pr[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ht.At(pr[0], pr[1])
+			if math.Abs(got-want) > 1e-7*(1+want) {
+				t.Fatalf("%s h(%d,%d): absorbing %v vs fundamental %v",
+					g.Name(), pr[0], pr[1], got, want)
+			}
+		}
+	}
+}
+
+func TestAbsorbingValidation(t *testing.T) {
+	c := FromWalk(graph.Cycle(5), 0)
+	if _, err := NewAbsorbing(c, nil); err == nil {
+		t.Fatal("empty absorbing set accepted")
+	}
+	if _, err := NewAbsorbing(c, []int{9}); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if _, err := NewAbsorbing(c, []int{0, 1, 2, 3, 4}); err == nil {
+		t.Fatal("all-absorbing chain accepted")
+	}
+	abs, err := NewAbsorbing(c, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := abs.AbsorptionProbabilities(1); err == nil {
+		t.Fatal("non-absorbing target accepted")
+	}
+}

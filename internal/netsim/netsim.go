@@ -1,0 +1,126 @@
+// Package netsim is a synchronous message-passing network simulator over a
+// graph topology, built to exercise the paper's motivating distributed
+// systems: random-walk queries, flooding, and random-walk-based membership
+// sampling (the querying/searching/self-stabilization applications of the
+// paper's introduction, refs [8,10,17,21,30,31]).
+//
+// Execution is round-based: messages sent during round t are delivered at
+// the beginning of round t+1; each delivery may send further messages. The
+// simulator counts every message, giving the bandwidth side of the
+// latency/bandwidth trade-off that k-walk search navigates.
+package netsim
+
+import (
+	"fmt"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// NodeID identifies a network node (a graph vertex).
+type NodeID = int32
+
+// Message is an in-flight protocol message.
+type Message struct {
+	From, To NodeID
+	Hops     int // hops traveled so far, maintained by the network
+	Payload  any
+}
+
+// Handler reacts to a delivered message on behalf of a node and may send
+// more messages through the network.
+type Handler interface {
+	// Deliver processes msg arriving at node during the current round.
+	Deliver(net *Network, node NodeID, msg Message)
+}
+
+// Network is a synchronous network over an undirected topology.
+type Network struct {
+	g       *graph.Graph
+	rand    *rng.Source
+	handler Handler
+
+	round    int
+	inFlight []Message // sent this round, delivered next round
+	sent     int64
+	stopped  bool
+}
+
+// New returns a network over topology g; protocol logic is provided by
+// handler and randomness by r.
+func New(g *graph.Graph, handler Handler, r *rng.Source) *Network {
+	if handler == nil {
+		panic("netsim: nil handler")
+	}
+	return &Network{g: g, rand: r, handler: handler}
+}
+
+// Graph returns the topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Rand returns the network's random source, for protocol-level choices.
+func (n *Network) Rand() *rng.Source { return n.rand }
+
+// Round returns the current round number (0 before the first Step).
+func (n *Network) Round() int { return n.round }
+
+// MessagesSent returns the total messages sent so far.
+func (n *Network) MessagesSent() int64 { return n.sent }
+
+// Stop requests termination; Run returns at the end of the current round.
+func (n *Network) Stop() { n.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (n *Network) Stopped() bool { return n.stopped }
+
+// Send queues a message from -> to for delivery next round. to must be a
+// neighbor of from (or equal to from for a self-message): the simulator
+// enforces topology.
+func (n *Network) Send(from, to NodeID, payload any, hops int) {
+	if from != to && !n.g.HasEdge(from, to) {
+		panic(fmt.Sprintf("netsim: send along non-edge (%d,%d)", from, to))
+	}
+	n.inFlight = append(n.inFlight, Message{From: from, To: to, Hops: hops + 1, Payload: payload})
+	n.sent++
+}
+
+// SendToRandomNeighbor forwards payload from node to a uniformly random
+// neighbor — the random-walk primitive.
+func (n *Network) SendToRandomNeighbor(from NodeID, payload any, hops int) NodeID {
+	nb := n.g.Neighbors(from)
+	to := nb[n.rand.Intn(len(nb))]
+	n.Send(from, to, payload, hops)
+	return to
+}
+
+// Broadcast sends payload from node to every neighbor (flooding primitive).
+func (n *Network) Broadcast(from NodeID, payload any, hops int) {
+	for _, to := range n.g.Neighbors(from) {
+		n.Send(from, to, payload, hops)
+	}
+}
+
+// Step delivers all in-flight messages (one synchronous round) and returns
+// the number delivered.
+func (n *Network) Step() int {
+	batch := n.inFlight
+	n.inFlight = nil
+	n.round++
+	for _, msg := range batch {
+		n.handler.Deliver(n, msg.To, msg)
+		if n.stopped {
+			break
+		}
+	}
+	return len(batch)
+}
+
+// Run steps the network until it quiesces (no messages in flight), Stop is
+// called, or maxRounds elapse. It returns the number of rounds executed.
+func (n *Network) Run(maxRounds int) int {
+	start := n.round
+	for n.round-start < maxRounds && !n.stopped && len(n.inFlight) > 0 {
+		n.Step()
+	}
+	return n.round - start
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// QueryResult summarizes one search execution.
+type QueryResult struct {
+	Found    bool
+	Rounds   int   // rounds until the first hit (or budget exhaustion)
+	Messages int64 // total messages the protocol consumed
+}
+
+// walkToken is the payload of a random-walk query token.
+type walkToken struct{ ttl int }
+
+// walkQuery implements a k-token random-walk search for nodes where
+// hasItem is true.
+type walkQuery struct {
+	hasItem    []bool
+	found      bool
+	foundRound int
+}
+
+// Deliver forwards the token or stops on a hit.
+func (q *walkQuery) Deliver(net *Network, node NodeID, msg Message) {
+	if q.found {
+		return
+	}
+	if q.hasItem[node] {
+		q.found = true
+		q.foundRound = net.Round()
+		net.Stop()
+		return
+	}
+	tok := msg.Payload.(walkToken)
+	if tok.ttl <= 0 {
+		return
+	}
+	net.SendToRandomNeighbor(node, walkToken{ttl: tok.ttl - 1}, msg.Hops)
+}
+
+// RunWalkQuery launches k random-walk tokens from origin, each with the
+// given TTL, and reports whether any token reached a node with the item.
+// A hit at the origin itself is reported immediately as 0 rounds.
+func RunWalkQuery(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bool, r *rng.Source) QueryResult {
+	q := &walkQuery{hasItem: hasItem}
+	net := New(g, q, r)
+	if hasItem[origin] {
+		return QueryResult{Found: true, Rounds: 0, Messages: 0}
+	}
+	for i := 0; i < k; i++ {
+		net.SendToRandomNeighbor(origin, walkToken{ttl: ttl - 1}, -1)
+	}
+	net.Run(ttl + 1)
+	return QueryResult{Found: q.found, Rounds: q.foundRound, Messages: net.MessagesSent()}
+}
+
+// floodQuery implements TTL-bounded flooding search.
+type floodQuery struct {
+	hasItem    []bool
+	visited    []bool
+	found      bool
+	foundRound int
+}
+
+type floodToken struct{ ttl int }
+
+// Deliver marks the node and re-broadcasts while TTL remains.
+func (q *floodQuery) Deliver(net *Network, node NodeID, msg Message) {
+	if q.found {
+		return
+	}
+	if q.hasItem[node] {
+		q.found = true
+		q.foundRound = net.Round()
+		net.Stop()
+		return
+	}
+	if q.visited[node] {
+		return
+	}
+	q.visited[node] = true
+	tok := msg.Payload.(floodToken)
+	if tok.ttl <= 0 {
+		return
+	}
+	net.Broadcast(node, floodToken{ttl: tok.ttl - 1}, msg.Hops)
+}
+
+// RunFloodQuery floods from origin with the given TTL.
+func RunFloodQuery(g *graph.Graph, origin NodeID, ttl int, hasItem []bool, r *rng.Source) QueryResult {
+	q := &floodQuery{hasItem: hasItem, visited: make([]bool, g.N())}
+	net := New(g, q, r)
+	if hasItem[origin] {
+		return QueryResult{Found: true, Rounds: 0, Messages: 0}
+	}
+	q.visited[origin] = true
+	net.Broadcast(origin, floodToken{ttl: ttl - 1}, -1)
+	net.Run(ttl + 1)
+	return QueryResult{Found: q.found, Rounds: q.foundRound, Messages: net.MessagesSent()}
+}
+
+// membershipSampler implements RaWMS-style sampling (the paper's ref [10]):
+// a node learns a near-uniform random peer by sending a token on a random
+// walk of fixed length L ≥ t_m and recording where it stops. For regular
+// topologies the stationary distribution is uniform, so walk length beyond
+// the mixing time yields uniform samples.
+type membershipSampler struct {
+	samples []NodeID
+}
+
+type sampleToken struct{ ttl int }
+
+// Deliver forwards the token or records its final position.
+func (s *membershipSampler) Deliver(net *Network, node NodeID, msg Message) {
+	tok := msg.Payload.(sampleToken)
+	if tok.ttl <= 0 {
+		s.samples = append(s.samples, node)
+		return
+	}
+	net.SendToRandomNeighbor(node, sampleToken{ttl: tok.ttl - 1}, msg.Hops)
+}
+
+// RunMembershipSampling launches count walk tokens of length walkLen from
+// origin and returns the node each token stopped at. The returned sample
+// approaches the stationary distribution as walkLen passes the mixing time.
+func RunMembershipSampling(g *graph.Graph, origin NodeID, count, walkLen int, r *rng.Source) []NodeID {
+	s := &membershipSampler{}
+	net := New(g, s, r)
+	for i := 0; i < count; i++ {
+		net.SendToRandomNeighbor(origin, sampleToken{ttl: walkLen - 1}, -1)
+	}
+	net.Run(walkLen + 1)
+	return s.samples
+}

@@ -1,0 +1,214 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical words of 100", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	// Distinct stream ids under the same root seed must give distinct output.
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("streams 0 and 1 collided at word %d", i)
+		}
+	}
+	// Same (seed, stream) must reproduce.
+	c, d := NewStream(7, 3), NewStream(7, 3)
+	for i := 0; i < 64; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatalf("stream reproduction failed at word %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared test over 8 buckets; threshold is the 99.9% quantile of
+	// chi2 with 7 dof (24.32), generous enough to avoid flakiness while
+	// catching gross bias.
+	r := New(12345)
+	const buckets, samples = 8, 80000
+	var count [buckets]int
+	for i := 0; i < samples; i++ {
+		count[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 24.32 {
+		t.Fatalf("chi2 = %.2f exceeds 24.32; counts %v", chi2, count)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	check := func(n uint8) bool {
+		p := r.Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// The first element of Perm(4) should be uniform over {0,1,2,3}.
+	r := New(17)
+	var count [4]int
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		count[r.Perm(4)[0]]++
+	}
+	for i, c := range count {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("Perm first-element bias at %d: %.3f", i, frac)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(23)
+	const n, trials = 100, 20000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		x := float64(r.Binomial(n))
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	if math.Abs(mean-50) > 0.5 {
+		t.Fatalf("Binomial(100,1/2) mean %.3f far from 50", mean)
+	}
+	if math.Abs(variance-25) > 2.5 {
+		t.Fatalf("Binomial(100,1/2) variance %.3f far from 25", variance)
+	}
+}
+
+func TestBinomialSmallN(t *testing.T) {
+	r := New(5)
+	for n := 0; n <= 3; n++ {
+		for i := 0; i < 100; i++ {
+			x := r.Binomial(n)
+			if x < 0 || x > n {
+				t.Fatalf("Binomial(%d) = %d out of range", n, x)
+			}
+		}
+	}
+}
+
+func TestJumpDisjointness(t *testing.T) {
+	// After a jump, the next outputs must differ from the pre-jump sequence
+	// start (they are 2^128 steps ahead).
+	a := New(99)
+	first := a.Uint64()
+	b := New(99)
+	b.Jump()
+	if b.Uint64() == first {
+		t.Fatal("jumped generator repeated the origin sequence")
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(31)
+	heads := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)/n-0.5) > 0.01 {
+		t.Fatalf("Bool heads fraction %.4f", float64(heads)/n)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}

@@ -1,0 +1,126 @@
+// Package spectral computes mixing times and spectral bounds for random
+// walks. The paper defines the mixing time t_m of G as the smallest t such
+// that for all start vertices u, Σ_v |p^t_{u,v} − π(v)| < 1/e; this package
+// evaluates that quantity exactly by evolving the distribution with the
+// sparse walk operator, and cheaply by relaxation-time bounds from the
+// spectral gap.
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/rng"
+)
+
+// DefaultEpsilon is the paper's mixing threshold 1/e.
+var DefaultEpsilon = 1 / math.E
+
+// Result reports a mixing time measurement.
+type Result struct {
+	Time      int     // smallest t with distance < eps from every tested start
+	WorstD    float64 // the achieved distance at Time
+	Truncated bool    // hit maxT before reaching the threshold
+}
+
+// MixingTimeFrom returns the smallest t ≤ maxT at which the L1 distance
+// Σ_v |p^t_{u,v} − π(v)| drops below eps for the single start u.
+// If the threshold is not reached by maxT the result is truncated with
+// Time = maxT.
+func MixingTimeFrom(op *linalg.WalkOperator, u int32, eps float64, maxT int) Result {
+	n := op.N()
+	pi := op.StationaryDistribution()
+	p := make([]float64, n)
+	p[u] = 1
+	next := make([]float64, n)
+	d := linalg.L1Distance(p, pi)
+	if d < eps {
+		return Result{Time: 0, WorstD: d}
+	}
+	for t := 1; t <= maxT; t++ {
+		op.EvolveDist(p, next)
+		p, next = next, p
+		d = linalg.L1Distance(p, pi)
+		if d < eps {
+			return Result{Time: t, WorstD: d}
+		}
+	}
+	return Result{Time: maxT, WorstD: d, Truncated: true}
+}
+
+// MixingTime returns the paper's t_m: the max over the given start vertices
+// of MixingTimeFrom. Pass all vertices for the exact definition, or a single
+// vertex for vertex-transitive graphs where every start is equivalent.
+// A truncated result from any start truncates the whole measurement.
+func MixingTime(op *linalg.WalkOperator, starts []int32, eps float64, maxT int) Result {
+	if len(starts) == 0 {
+		panic("spectral: MixingTime requires at least one start")
+	}
+	worst := Result{}
+	for _, u := range starts {
+		r := MixingTimeFrom(op, u, eps, maxT)
+		if r.Truncated {
+			return r
+		}
+		if r.Time > worst.Time || (r.Time == worst.Time && r.WorstD > worst.WorstD) {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// AllStarts returns the slice [0, 1, ..., n-1] for use with MixingTime on
+// graphs without useful symmetry.
+func AllStarts(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// RelaxationBounds returns the standard sandwich on the eps-mixing time in
+// terms of the relaxation time t_rel = 1/(1−λ):
+//
+//	(t_rel − 1)·ln(1/2eps) ≤ t_mix(eps) ≤ t_rel·ln(1/(eps·π_min))
+//
+// computed from a power-iteration estimate of λ. For periodic chains
+// (bipartite graphs under the simple walk) λ = 1 and the bounds are
+// meaningless; use a lazy operator there.
+func RelaxationBounds(g *graph.Graph, stay float64, eps float64, r *rng.Source) (lower, upper float64, lambda float64, err error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, 0, 0, fmt.Errorf("spectral: eps must be in (0,1)")
+	}
+	op := linalg.NewWalkOperator(g, stay)
+	iters := 200 * (bitsLen(g.N()) + 1)
+	lambda = linalg.SecondEigenvalueMagnitude(op, iters, r)
+	if lambda >= 1-1e-12 {
+		return 0, 0, lambda, fmt.Errorf("spectral: no spectral gap (λ=%v); use a lazy walk", lambda)
+	}
+	trel := 1 / (1 - lambda)
+	pi := op.StationaryDistribution()
+	piMin := pi[0]
+	for _, p := range pi {
+		if p < piMin {
+			piMin = p
+		}
+	}
+	lower = (trel - 1) * math.Log(1/(2*eps))
+	upper = trel * math.Log(1/(eps*piMin))
+	if lower < 0 {
+		lower = 0
+	}
+	return lower, upper, lambda, nil
+}
+
+// bitsLen returns the bit length of n, a crude log2 for iteration budgets.
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}

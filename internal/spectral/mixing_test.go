@@ -1,0 +1,175 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/rng"
+)
+
+func TestMixingCompleteGraphIsOneStep(t *testing.T) {
+	// On K_n (n >= 6) the distribution after one step is within 2/n < 1/e of
+	// uniform from any start.
+	op := linalg.NewWalkOperator(graph.Complete(10, false), 0)
+	r := MixingTime(op, AllStarts(10), DefaultEpsilon, 100)
+	if r.Truncated || r.Time != 1 {
+		t.Fatalf("K10 mixing result %+v, want Time=1", r)
+	}
+}
+
+func TestMixingCompleteWithLoops(t *testing.T) {
+	// With self-loops the first step already lands exactly uniform.
+	op := linalg.NewWalkOperator(graph.Complete(8, true), 0)
+	r := MixingTime(op, AllStarts(8), DefaultEpsilon, 10)
+	if r.Truncated || r.Time != 1 {
+		t.Fatalf("K8+loops mixing %+v", r)
+	}
+}
+
+func TestBipartiteSimpleWalkNeverMixes(t *testing.T) {
+	op := linalg.NewWalkOperator(graph.Cycle(8), 0)
+	r := MixingTimeFrom(op, 0, DefaultEpsilon, 2000)
+	if !r.Truncated {
+		t.Fatalf("even cycle mixed at t=%d under the periodic simple walk", r.Time)
+	}
+	// L1 distance from π stays exactly 1 by parity (half the mass support is
+	// empty each step): distance must remain >= 1.
+	if r.WorstD < 1-1e-9 {
+		t.Fatalf("parity argument violated: distance %v", r.WorstD)
+	}
+}
+
+func TestLazyWalkMixesOnEvenCycle(t *testing.T) {
+	op := linalg.NewWalkOperator(graph.Cycle(8), 0.5)
+	r := MixingTimeFrom(op, 0, DefaultEpsilon, 5000)
+	if r.Truncated {
+		t.Fatal("lazy walk failed to mix on cycle(8)")
+	}
+	if r.Time < 2 {
+		t.Fatalf("cycle(8) lazy mixing suspiciously fast: %d", r.Time)
+	}
+}
+
+func TestMixingScalesQuadraticallyOnCycle(t *testing.T) {
+	// t_m for the (lazy) cycle should grow ~4x when n doubles.
+	times := make(map[int]int)
+	for _, n := range []int{16, 32} {
+		op := linalg.NewWalkOperator(graph.Cycle(n), 0.5)
+		r := MixingTimeFrom(op, 0, DefaultEpsilon, 100000)
+		if r.Truncated {
+			t.Fatalf("cycle(%d) truncated", n)
+		}
+		times[n] = r.Time
+	}
+	ratio := float64(times[32]) / float64(times[16])
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Fatalf("cycle mixing ratio %v (times %v), want ≈4", ratio, times)
+	}
+}
+
+func TestExpanderMixesLogarithmically(t *testing.T) {
+	// The Margulis expander should mix in O(log n) steps; compare two sizes
+	// and require far-sub-linear growth.
+	tm := make(map[int]int)
+	for _, m := range []int{8, 16} { // n = 64, 256
+		op := linalg.NewWalkOperator(graph.MargulisExpander(m), 0)
+		r := MixingTimeFrom(op, 0, DefaultEpsilon, 10000)
+		if r.Truncated {
+			t.Fatalf("margulis(%d) truncated", m)
+		}
+		tm[m] = r.Time
+	}
+	if tm[16] > 3*tm[8]+4 {
+		t.Fatalf("expander mixing grows too fast: %v", tm)
+	}
+}
+
+func TestMixingWorstStartDominates(t *testing.T) {
+	// On the lollipop the tail vertex mixes far more slowly than a clique
+	// vertex; MixingTime over all starts must match the slowest.
+	g := graph.Lollipop(8, 6)
+	op := linalg.NewWalkOperator(g, 0.5)
+	all := MixingTime(op, AllStarts(g.N()), DefaultEpsilon, 200000)
+	tail := MixingTimeFrom(op, int32(g.N()-1), DefaultEpsilon, 200000)
+	clique := MixingTimeFrom(op, 1, DefaultEpsilon, 200000)
+	if all.Truncated || tail.Truncated || clique.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if all.Time < tail.Time {
+		t.Fatalf("worst-start %d < tail %d", all.Time, tail.Time)
+	}
+	if clique.Time > tail.Time {
+		t.Fatalf("clique start %d slower than tail %d", clique.Time, tail.Time)
+	}
+}
+
+func TestRelaxationBoundsSandwichExactMixing(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Cycle(17), // odd: aperiodic simple walk
+		graph.MargulisExpander(6),
+		graph.Complete(12, false),
+	}
+	for _, g := range cases {
+		op := linalg.NewWalkOperator(g, 0)
+		exactTM := MixingTime(op, AllStarts(g.N()), DefaultEpsilon, 200000)
+		if exactTM.Truncated {
+			t.Fatalf("%s: truncated", g.Name())
+		}
+		lower, upper, lambda, err := RelaxationBounds(g, 0, DefaultEpsilon, rng.New(9))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if lambda <= 0 || lambda >= 1 {
+			t.Fatalf("%s: bad lambda %v", g.Name(), lambda)
+		}
+		// The relaxation sandwich bounds t_mix(eps); allow the exact integer
+		// time to sit at the boundary.
+		if float64(exactTM.Time) < lower-1 {
+			t.Fatalf("%s: exact %d below lower bound %v", g.Name(), exactTM.Time, lower)
+		}
+		if float64(exactTM.Time) > upper+1 {
+			t.Fatalf("%s: exact %d above upper bound %v", g.Name(), exactTM.Time, upper)
+		}
+	}
+}
+
+func TestRelaxationBoundsRejectBipartite(t *testing.T) {
+	if _, _, _, err := RelaxationBounds(graph.Cycle(8), 0, DefaultEpsilon, rng.New(1)); err == nil {
+		t.Fatal("bipartite simple walk must be rejected (λ=1)")
+	}
+}
+
+func TestRelaxationBoundsRejectBadEps(t *testing.T) {
+	if _, _, _, err := RelaxationBounds(graph.Cycle(9), 0, 1.5, rng.New(1)); err == nil {
+		t.Fatal("eps out of range accepted")
+	}
+}
+
+func TestHypercubeLazyMixingIsFast(t *testing.T) {
+	// Hypercube d=8 (n=256): lazy walk mixes in O(d log d) ≈ tens of steps,
+	// dramatically less than n.
+	g := graph.Hypercube(8)
+	op := linalg.NewWalkOperator(g, 0.5)
+	r := MixingTimeFrom(op, 0, DefaultEpsilon, 5000)
+	if r.Truncated {
+		t.Fatal("hypercube lazy walk failed to mix")
+	}
+	if r.Time > g.N()/2 {
+		t.Fatalf("hypercube mixing %d way too slow", r.Time)
+	}
+	if math.IsNaN(r.WorstD) {
+		t.Fatal("NaN distance")
+	}
+}
+
+func TestMixingTimePanicsWithoutStarts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	op := linalg.NewWalkOperator(graph.Cycle(5), 0)
+	MixingTime(op, nil, DefaultEpsilon, 10)
+}

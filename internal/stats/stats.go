@@ -1,0 +1,201 @@
+// Package stats provides the estimation utilities used to turn Monte Carlo
+// samples into the numbers reported by the experiment harness: summary
+// statistics with confidence intervals, quantiles, and least-squares fits
+// used to test the paper's Θ(k) and Θ(log k) speed-up shapes.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs; it panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+// StdDev returns the sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 { return s.StdDev() / math.Sqrt(float64(s.N)) }
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean. Trials counts here are large enough (≥ 30 in the
+// harness defaults) that the normal quantile is adequate.
+func (s Summary) CI95() float64 { return 1.959964 * s.StdErr() }
+
+// String renders "mean ± ci95 (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// RelativeCI returns CI95 / |Mean|, used by adaptive samplers to decide when
+// an estimate is tight enough. It returns +Inf for zero means.
+func (s Summary) RelativeCI() float64 {
+	if s.Mean == 0 {
+		return math.Inf(1)
+	}
+	return s.CI95() / math.Abs(s.Mean)
+}
+
+// Quantile returns the q-th (0 ≤ q ≤ 1) sample quantile of xs using linear
+// interpolation between order statistics. It sorts a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// LinearFit holds an ordinary-least-squares line y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// FitLine fits y = a·x + b by least squares and reports R². It requires at
+// least two distinct x values.
+func FitLine(x, y []float64) LinearFit {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: FitLine needs matched samples of length >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		panic("stats: FitLine with constant x")
+	}
+	slope := (n*sxy - sx*sy) / det
+	intercept := (sy - slope*sx) / n
+	// R² = 1 - SSres/SStot.
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range x {
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// FitLogX fits y = a·ln(x) + b — the shape of Theorem 6's Θ(log k) speed-up.
+func FitLogX(x, y []float64) LinearFit {
+	lx := make([]float64, len(x))
+	for i, v := range x {
+		if v <= 0 {
+			panic("stats: FitLogX requires positive x")
+		}
+		lx[i] = math.Log(v)
+	}
+	return FitLine(lx, y)
+}
+
+// FitPowerLaw fits y = c·x^p by regressing ln y on ln x; it returns the
+// exponent p, the prefactor c, and R² of the log-log fit. Used to measure
+// the slope of S^k versus k (≈1 for linear speed-up families).
+func FitPowerLaw(x, y []float64) (p, c, r2 float64) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: FitPowerLaw requires positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	f := FitLine(lx, ly)
+	return f.Slope, math.Exp(f.Intercept), f.R2
+}
+
+// HarmonicNumber returns H_k = Σ_{i=1..k} 1/i, the quantity in Matthews'
+// bound.
+func HarmonicNumber(k int) float64 {
+	if k < 0 {
+		panic("stats: negative harmonic index")
+	}
+	h := 0.0
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// MeanOfInts is a convenience for the walk package, which produces integer
+// step counts.
+func MeanOfInts(xs []int64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+// ToFloats converts integer step counts to float64 samples.
+func ToFloats(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

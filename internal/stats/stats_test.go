@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"manywalks/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Fatalf("variance %v, want 2.5", s.Variance)
+	}
+	if math.Abs(s.StdErr()-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Fatal("stderr")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Variance != 0 || s.Mean != 7 {
+		t.Fatalf("%+v", s)
+	}
+	if !math.IsInf(Summarize([]float64{0}).RelativeCI(), 1) {
+		t.Fatal("RelativeCI of zero mean should be +Inf")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// The 95% CI should contain the true mean about 95% of the time.
+	r := rng.New(8)
+	const experiments, samples = 400, 50
+	hits := 0
+	for e := 0; e < experiments; e++ {
+		xs := make([]float64, samples)
+		for i := range xs {
+			xs[i] = r.Float64() // true mean 0.5
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-0.5) <= s.CI95() {
+			hits++
+		}
+	}
+	rate := float64(hits) / experiments
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("CI coverage %.3f outside [0.90, 0.99]", rate)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extremes")
+	}
+	if Median(xs) != 2.5 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	if q := Quantile([]float64{1, 2, 3, 4, 5}, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := FitLine(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-3) > 1e-12 || f.R2 < 0.999999 {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rng.New(3)
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 0.5*x[i] + 10 + (r.Float64()-0.5)*2
+	}
+	f := FitLine(x, y)
+	if math.Abs(f.Slope-0.5) > 0.01 {
+		t.Fatalf("noisy slope %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("noisy R2 %v", f.R2)
+	}
+}
+
+func TestFitLogX(t *testing.T) {
+	// y = 3·ln x + 1.
+	x := []float64{1, math.E, math.E * math.E, 20, 50}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3*math.Log(x[i]) + 1
+	}
+	f := FitLogX(x, y)
+	if math.Abs(f.Slope-3) > 1e-10 || math.Abs(f.Intercept-1) > 1e-10 {
+		t.Fatalf("log fit %+v", f)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 2.5·x^1.5.
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2.5 * math.Pow(x[i], 1.5)
+	}
+	p, c, r2 := FitPowerLaw(x, y)
+	if math.Abs(p-1.5) > 1e-10 || math.Abs(c-2.5) > 1e-9 || r2 < 0.999999 {
+		t.Fatalf("power fit p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestFitPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short", func() { FitLine([]float64{1}, []float64{1}) })
+	mustPanic("constant-x", func() { FitLine([]float64{2, 2}, []float64{1, 3}) })
+	mustPanic("logx nonpositive", func() { FitLogX([]float64{0, 1}, []float64{1, 2}) })
+	mustPanic("power nonpositive", func() { FitPowerLaw([]float64{1, 2}, []float64{0, 1}) })
+	mustPanic("quantile range", func() { Quantile([]float64{1}, 1.5) })
+}
+
+func TestHarmonicNumber(t *testing.T) {
+	if HarmonicNumber(0) != 0 || HarmonicNumber(1) != 1 {
+		t.Fatal("small harmonics")
+	}
+	if math.Abs(HarmonicNumber(4)-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatal("H4")
+	}
+	// H_n ≈ ln n + γ.
+	h := HarmonicNumber(100000)
+	if math.Abs(h-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Fatalf("H_100000 = %v", h)
+	}
+}
+
+func TestMeanOfIntsAndToFloats(t *testing.T) {
+	if MeanOfInts([]int64{1, 2, 3}) != 2 {
+		t.Fatal("MeanOfInts")
+	}
+	f := ToFloats([]int64{5, 6})
+	if len(f) != 2 || f[0] != 5 || f[1] != 6 {
+		t.Fatal("ToFloats")
+	}
+}
+
+func TestSummaryMeanWithinRangeProperty(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Variance >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

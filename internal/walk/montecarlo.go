@@ -1,0 +1,202 @@
+package walk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+	"manywalks/internal/stats"
+)
+
+// MCOptions configures a Monte Carlo estimation run.
+type MCOptions struct {
+	Trials   int    // number of independent trials (required, > 0)
+	Workers  int    // goroutines; 0 means GOMAXPROCS
+	Seed     uint64 // root seed; trial i uses stream (Seed, i)
+	MaxSteps int64  // per-trial step/round budget (required, > 0)
+}
+
+// normalized fills defaults and validates.
+func (o MCOptions) normalized() (MCOptions, error) {
+	if o.Trials <= 0 {
+		return o, fmt.Errorf("walk: Trials must be > 0")
+	}
+	if o.MaxSteps <= 0 {
+		return o, fmt.Errorf("walk: MaxSteps must be > 0")
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Trials {
+		o.Workers = o.Trials
+	}
+	return o, nil
+}
+
+// MonteCarlo runs opts.Trials independent trials of fn in parallel and
+// returns the per-trial results in trial order. fn receives the trial index
+// and a private RNG stream derived deterministically from (Seed, index), so
+// results are reproducible regardless of worker count or scheduling.
+// Workers drain a shared channel of trial indices (a fixed-size pool in the
+// Effective Go style); each result is written to a distinct slice slot, so
+// no locking is needed.
+func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]float64, error) {
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]float64, opts.Trials)
+	trials := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range trials {
+				results[t] = fn(t, rng.NewStream(opts.Seed, uint64(t)))
+			}
+		}()
+	}
+	for t := 0; t < opts.Trials; t++ {
+		trials <- t
+	}
+	close(trials)
+	wg.Wait()
+	return results, nil
+}
+
+// Estimate holds a Monte Carlo estimate with its uncertainty plus coverage
+// accounting: Truncated counts trials that exhausted MaxSteps; their
+// (censored) values are included in the summary, biasing it low, so any
+// nonzero count must be treated as a soft failure by callers.
+type Estimate struct {
+	Summary   stats.Summary
+	Truncated int
+}
+
+// Mean is shorthand for Summary.Mean.
+func (e Estimate) Mean() float64 { return e.Summary.Mean }
+
+// CI95 is shorthand for Summary.CI95().
+func (e Estimate) CI95() float64 { return e.Summary.CI95() }
+
+// EstimateCoverTime estimates the expected single-walk cover time from
+// start.
+func EstimateCoverTime(g *graph.Graph, start int32, opts MCOptions) (Estimate, error) {
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		res := CoverFrom(g, start, r, opts.MaxSteps)
+		if !res.Covered {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(res.Steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// EstimateKCoverTime estimates the expected k-walk cover time (in rounds)
+// from a common start vertex.
+func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Estimate, error) {
+	if k < 1 {
+		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
+	}
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		res := KCoverFrom(g, start, k, r, opts.MaxSteps)
+		if !res.Covered {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(res.Steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// EstimateKCoverTimeStationary estimates the k-walk cover time with the k
+// walkers started at fresh stationary samples each trial — the variant
+// discussed in the paper's §1.1 comparison with Broder et al.
+func EstimateKCoverTimeStationary(g *graph.Graph, k int, opts MCOptions) (Estimate, error) {
+	if k < 1 {
+		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
+	}
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		starts := StationaryStarts(g, k, r)
+		res := KCoverFromVertices(g, starts, r, opts.MaxSteps)
+		if !res.Covered {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(res.Steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// EstimateHittingTime estimates h(start, target) by simulation; it is used
+// to cross-validate the exact fundamental-matrix solver on mid-size graphs.
+func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (Estimate, error) {
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: hitting time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		steps, hit := HitFrom(g, start, target, r, opts.MaxSteps)
+		if !hit {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// CoverTimeTail estimates Pr[τ > t] for the provided horizon t by running
+// fresh trials; used by the Aldous-concentration experiment (Theorem 17).
+func CoverTimeTail(g *graph.Graph, start int32, horizon int64, opts MCOptions) (float64, error) {
+	if horizon <= 0 {
+		return 0, fmt.Errorf("walk: horizon must be > 0")
+	}
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		res := CoverFrom(g, start, r, horizon)
+		if res.Covered {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Summarize(samples).Mean, nil
+}

@@ -1,0 +1,194 @@
+package walk
+
+import (
+	"fmt"
+	"sync"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+	"manywalks/internal/stats"
+)
+
+// PartialCoverFrom runs a k-walk from start until a fraction alpha of the
+// vertices has been visited (α=1 is full cover). The paper's linear-speed-up
+// proofs hinge on the last few vertices dominating the cover time; partial
+// cover times expose that structure directly.
+func PartialCoverFrom(g *graph.Graph, start int32, k int, alpha float64, r *rng.Source, maxRounds int64) CoverResult {
+	if alpha <= 0 || alpha > 1 {
+		panic("walk: alpha must be in (0,1]")
+	}
+	n := g.N()
+	target := int(alpha * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	seen := newVisitSet(n)
+	pos := make([]int32, k)
+	for i := range pos {
+		pos[i] = start
+	}
+	if seen.visit(start) >= target {
+		return CoverResult{Steps: 0, Covered: true}
+	}
+	for t := int64(1); t <= maxRounds; t++ {
+		for i, p := range pos {
+			nb := g.Neighbors(p)
+			np := nb[r.Intn(len(nb))]
+			pos[i] = np
+			if seen.visit(np) >= target {
+				return CoverResult{Steps: t, Covered: true}
+			}
+		}
+	}
+	return CoverResult{Steps: maxRounds, Covered: false}
+}
+
+// EstimatePartialCoverTime estimates the expected α-partial k-walk cover
+// time from start.
+func EstimatePartialCoverTime(g *graph.Graph, start int32, k int, alpha float64, opts MCOptions) (Estimate, error) {
+	if k < 1 {
+		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return Estimate{}, fmt.Errorf("walk: alpha must be in (0,1]")
+	}
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		res := PartialCoverFrom(g, start, k, alpha, r, opts.MaxSteps)
+		if !res.Covered {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(res.Steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// LastVertexFrom runs a single walk to full cover and returns the identity
+// of the last vertex covered (and the cover time). The distribution of the
+// last vertex concentrates on the far side of the start — the structure
+// Matthews-style arguments exploit.
+func LastVertexFrom(g *graph.Graph, start int32, r *rng.Source, maxSteps int64) (last int32, steps int64, covered bool) {
+	n := g.N()
+	seen := newVisitSet(n)
+	seen.visit(start)
+	last = start
+	if seen.count == n {
+		return last, 0, true
+	}
+	w := NewWalker(g, start, r)
+	for t := int64(1); t <= maxSteps; t++ {
+		v := w.Step()
+		before := seen.count
+		if seen.visit(v) != before {
+			last = v
+			if seen.count == n {
+				return last, t, true
+			}
+		}
+	}
+	return last, maxSteps, false
+}
+
+// MeetingTimeFrom runs two independent walks from u and v stepping in
+// synchronized rounds and returns the first round at which they occupy the
+// same vertex (checked after both have moved). The hunter/prey pursuit of
+// the paper's introduction is exactly this process. On bipartite graphs
+// walks started on opposite sides can never meet on-node under simultaneous
+// moves; callers handle the truncation.
+func MeetingTimeFrom(g *graph.Graph, u, v int32, r *rng.Source, maxRounds int64) (int64, bool) {
+	if u == v {
+		return 0, true
+	}
+	a := NewWalker(g, u, r)
+	b := NewWalker(g, v, r)
+	for t := int64(1); t <= maxRounds; t++ {
+		if a.Step() == b.Step() {
+			return t, true
+		}
+	}
+	return maxRounds, false
+}
+
+// EstimateMeetingTime estimates the expected meeting round of two walks.
+func EstimateMeetingTime(g *graph.Graph, u, v int32, opts MCOptions) (Estimate, error) {
+	if !g.IsConnected() {
+		return Estimate{}, fmt.Errorf("walk: meeting time diverges on disconnected graphs")
+	}
+	var mu sync.Mutex
+	truncated := 0
+	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
+		steps, met := MeetingTimeFrom(g, u, v, r, opts.MaxSteps)
+		if !met {
+			mu.Lock()
+			truncated++
+			mu.Unlock()
+		}
+		return float64(steps)
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+}
+
+// CoverageProfile runs one k-walk for exactly horizon rounds and returns
+// the number of distinct vertices visited after each round (index 0 is the
+// state at t=0). Averaging profiles across trials yields the coverage curve
+// ("fraction covered vs time") whose long flat tail explains why the last
+// few vertices dominate C^k.
+func CoverageProfile(g *graph.Graph, start int32, k int, r *rng.Source, horizon int64) []int {
+	n := g.N()
+	seen := newVisitSet(n)
+	pos := make([]int32, k)
+	for i := range pos {
+		pos[i] = start
+	}
+	seen.visit(start)
+	profile := make([]int, horizon+1)
+	profile[0] = seen.count
+	for t := int64(1); t <= horizon; t++ {
+		for i, p := range pos {
+			nb := g.Neighbors(p)
+			np := nb[r.Intn(len(nb))]
+			pos[i] = np
+			seen.visit(np)
+		}
+		profile[t] = seen.count
+	}
+	return profile
+}
+
+// MeanCoverageProfile averages CoverageProfile over opts.Trials trials and
+// returns the expected coverage count per round.
+func MeanCoverageProfile(g *graph.Graph, start int32, k int, horizon int64, opts MCOptions) ([]float64, error) {
+	if k < 1 || horizon < 1 {
+		return nil, fmt.Errorf("walk: need k >= 1 and horizon >= 1")
+	}
+	profiles := make([][]int, opts.Trials)
+	_, err := MonteCarlo(opts, func(trial int, r *rng.Source) float64 {
+		profiles[trial] = CoverageProfile(g, start, k, r, horizon)
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	mean := make([]float64, horizon+1)
+	for _, p := range profiles {
+		for t, c := range p {
+			mean[t] += float64(c)
+		}
+	}
+	for t := range mean {
+		mean[t] /= float64(len(profiles))
+	}
+	return mean, nil
+}

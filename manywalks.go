@@ -1,0 +1,231 @@
+package manywalks
+
+import (
+	"manywalks/internal/core"
+	"manywalks/internal/exact"
+	"manywalks/internal/graph"
+	"manywalks/internal/linalg"
+	"manywalks/internal/rng"
+	"manywalks/internal/spectral"
+	"manywalks/internal/walk"
+)
+
+// Graph is an immutable undirected graph in CSR form; construct instances
+// with the New* generators below or with NewGraphBuilder.
+type Graph = graph.Graph
+
+// GraphBuilder incrementally assembles a Graph from edges.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a custom graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Rand is the deterministic random source used throughout the library
+// (xoshiro256++). Distinct (seed, stream) pairs give independent streams.
+type Rand = rng.Source
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewRandStream returns the stream-th independent generator under seed.
+func NewRandStream(seed, stream uint64) *Rand { return rng.NewStream(seed, stream) }
+
+// Graph generators — one per family in the paper's evaluation.
+
+// NewCycle returns the cycle on n vertices (Theorem 6's Θ(log k) family).
+func NewCycle(n int) *Graph { return graph.Cycle(n) }
+
+// NewPath returns the path graph on n vertices.
+func NewPath(n int) *Graph { return graph.Path(n) }
+
+// NewComplete returns K_n; withLoops adds a self-loop per vertex (the
+// Lemma 12 coupon-collector variant).
+func NewComplete(n int, withLoops bool) *Graph { return graph.Complete(n, withLoops) }
+
+// NewStar returns the star graph on n vertices with center 0.
+func NewStar(n int) *Graph { return graph.Star(n) }
+
+// NewGrid returns the d-dimensional grid with the given side lengths;
+// torus=true gives periodic boundaries (the paper's grid rows).
+func NewGrid(dims []int, torus bool) *Graph { return graph.Grid(dims, torus) }
+
+// NewTorus2D returns the side×side 2-dimensional torus.
+func NewTorus2D(side int) *Graph { return graph.Torus2D(side) }
+
+// NewHypercube returns the dim-dimensional hypercube (n = 2^dim).
+func NewHypercube(dim int) *Graph { return graph.Hypercube(dim) }
+
+// NewBalancedTree returns the complete arity-ary tree of the given height.
+func NewBalancedTree(arity, height int) *Graph { return graph.BalancedTree(arity, height) }
+
+// NewBarbell returns the paper's barbell B_n (odd n): two cliques of size
+// (n-1)/2 joined through a center vertex, which is returned too.
+func NewBarbell(n int) (*Graph, int32) { return graph.Barbell(n) }
+
+// NewLollipop returns a clique with a path tail (the Θ(n³) cover-time
+// worst case referenced in the paper's preliminaries).
+func NewLollipop(cliqueN, pathN int) *Graph { return graph.Lollipop(cliqueN, pathN) }
+
+// NewErdosRenyi samples G(n,p); see also NewConnectedErdosRenyi.
+func NewErdosRenyi(n int, p float64, r *Rand) *Graph { return graph.ErdosRenyi(n, p, r) }
+
+// NewConnectedErdosRenyi resamples G(n,p) until connected (≤ maxTries).
+func NewConnectedErdosRenyi(n int, p float64, r *Rand, maxTries int) (*Graph, error) {
+	return graph.ConnectedErdosRenyi(n, p, r, maxTries)
+}
+
+// NewRandomRegular samples a simple d-regular graph (configuration model
+// with switch repair).
+func NewRandomRegular(n, d int, r *Rand, maxTries int) (*Graph, error) {
+	return graph.RandomRegular(n, d, r, maxTries)
+}
+
+// NewConnectedRandomRegular resamples until the d-regular graph is connected.
+func NewConnectedRandomRegular(n, d int, r *Rand, maxTries int) (*Graph, error) {
+	return graph.ConnectedRandomRegular(n, d, r, maxTries)
+}
+
+// NewRandomGeometric samples n points in the unit square, connecting pairs
+// within the given radius.
+func NewRandomGeometric(n int, radius float64, r *Rand) *Graph {
+	return graph.RandomGeometric(n, radius, r)
+}
+
+// NewMargulisExpander returns the Margulis–Gabber–Galil expander on the
+// m×m torus (n = m²) — the explicit (n,d,λ)-graph used for the paper's
+// expander rows.
+func NewMargulisExpander(m int) *Graph { return graph.MargulisExpander(m) }
+
+// NewCycleWithChords returns the 3-regular inverse-chord expander on a
+// prime p.
+func NewCycleWithChords(p int) *Graph { return graph.CycleWithChords(p) }
+
+// Simulation API.
+
+// Walker is a simple random walker; drive it with Step.
+type Walker = walk.Walker
+
+// NewWalker places a walker on g at start.
+func NewWalker(g *Graph, start int32, r *Rand) *Walker { return walk.NewWalker(g, start, r) }
+
+// MCOptions configures Monte Carlo estimation: Trials, Workers (0 =
+// GOMAXPROCS), root Seed, and the per-trial MaxSteps budget.
+type MCOptions = walk.MCOptions
+
+// Estimate is a Monte Carlo mean with CI and truncation accounting.
+type Estimate = walk.Estimate
+
+// CoverTime estimates the expected single-walk cover time from start.
+func CoverTime(g *Graph, start int32, opts MCOptions) (Estimate, error) {
+	return walk.EstimateCoverTime(g, start, opts)
+}
+
+// KCoverTime estimates the expected k-walk cover time (in rounds) with all
+// k walkers started at start — the paper's C^k.
+func KCoverTime(g *Graph, start int32, k int, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKCoverTime(g, start, k, opts)
+}
+
+// KCoverTimeStationary starts the k walkers from fresh stationary samples
+// each trial (the §1.1 Broder et al. setting).
+func KCoverTimeStationary(g *Graph, k int, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKCoverTimeStationary(g, k, opts)
+}
+
+// HittingTime estimates h(start, target) by simulation.
+func HittingTime(g *Graph, start, target int32, opts MCOptions) (Estimate, error) {
+	return walk.EstimateHittingTime(g, start, target, opts)
+}
+
+// SpeedupPoint is one measured (k, S^k) with provenance and CI band.
+type SpeedupPoint = core.SpeedupPoint
+
+// Speedup measures S^k(G) = Ĉ(G)/Ĉ^k(G) from start.
+func Speedup(g *Graph, start int32, k int, opts MCOptions) (SpeedupPoint, error) {
+	return core.MeasureSpeedup(g, start, k, opts)
+}
+
+// SpeedupSweep measures S^k for each k, sharing one single-walk estimate.
+func SpeedupSweep(g *Graph, start int32, ks []int, opts MCOptions) ([]SpeedupPoint, error) {
+	return core.SpeedupCurve(g, start, ks, opts)
+}
+
+// Regime labels a speed-up curve's asymptotic shape.
+type Regime = core.Regime
+
+// Regime values.
+const (
+	RegimeUnknown     = core.RegimeUnknown
+	RegimeLinear      = core.RegimeLinear
+	RegimeLogarithmic = core.RegimeLogarithmic
+	RegimeSuperlinear = core.RegimeSuperlinear
+)
+
+// Classification carries the regime decision and its fit evidence.
+type Classification = core.Classification
+
+// ClassifySpeedups fits a measured curve against the paper's regime
+// templates (linear / logarithmic / superlinear).
+func ClassifySpeedups(points []SpeedupPoint) (Classification, error) {
+	return core.ClassifySpeedups(points)
+}
+
+// Exact analysis API.
+
+// HittingTimes holds exact all-pairs expected hitting times.
+type HittingTimes = exact.HittingTimes
+
+// ComputeHittingTimes solves the fundamental matrix for all-pairs h(u,v);
+// O(n³), intended for n into the low thousands.
+func ComputeHittingTimes(g *Graph) (*HittingTimes, error) {
+	return exact.ComputeHittingTimes(g)
+}
+
+// Bounds aggregates the exact quantities the paper's theorems use
+// (hmax, hmin, Matthews bounds, spectral gap, mixing time).
+type Bounds = core.Bounds
+
+// ComputeBounds evaluates exact bounds for g; mixingBudget caps the t_m
+// computation (0 skips it).
+func ComputeBounds(g *Graph, mixingBudget int, r *Rand) (*Bounds, error) {
+	return core.ComputeBounds(g, mixingBudget, r)
+}
+
+// ExactCoverTime returns the exact expected cover time from start for tiny
+// graphs (n ≤ 18) via the subset DP — ground truth for the estimators.
+func ExactCoverTime(g *Graph, start int32) (float64, error) {
+	return exact.CoverTimeFrom(g, start)
+}
+
+// ExactKCoverTime returns the exact expected k-walk cover time from start
+// for very small (n, k).
+func ExactKCoverTime(g *Graph, start int32, k int) (float64, error) {
+	return exact.KCoverTimeFrom(g, start, k)
+}
+
+// MixingTime computes the paper's t_m — smallest t with
+// Σ_v |p^t(u,·) − π| < 1/e from the worst of the given starts — for the
+// walk with the given laziness (stay probability). It returns -1 if the
+// budget is exhausted first.
+func MixingTime(g *Graph, stay float64, starts []int32, budget int) int {
+	op := linalg.NewWalkOperator(g, stay)
+	if starts == nil {
+		starts = spectral.AllStarts(g.N())
+	}
+	res := spectral.MixingTime(op, starts, spectral.DefaultEpsilon, budget)
+	if res.Truncated {
+		return -1
+	}
+	return res.Time
+}
+
+// SpectralGap estimates the absolute spectral gap 1−λ of the walk on g
+// (stay = laziness) by deflated power iteration.
+func SpectralGap(g *Graph, stay float64, r *Rand) float64 {
+	op := linalg.NewWalkOperator(g, stay)
+	iters := 200
+	for n := g.N(); n > 0; n >>= 1 {
+		iters += 200
+	}
+	return linalg.SpectralGap(op, iters, r)
+}
