@@ -152,6 +152,42 @@ func BenchmarkAblationLazyWalk(b *testing.B) {
 // Engine micro-benchmarks: raw stepping and cover throughput through the
 // public API, for performance tracking rather than paper reproduction.
 
+// BenchmarkEngineKCover64 samples C^64 on the Table-1 expander through the
+// public batched-engine API; compare with BenchmarkKCoverLegacy/
+// BenchmarkKCoverEngine in internal/walk for the engine-vs-legacy numbers.
+func BenchmarkEngineKCover64(b *testing.B) {
+	g := manywalks.NewMargulisExpander(24)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	b.ResetTimer()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		res := eng.KCoverFrom(0, 64, uint64(i), 1<<30)
+		if !res.Covered {
+			b.Fatal("not covered")
+		}
+		rounds += res.Steps
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "cover-rounds")
+}
+
+// BenchmarkEngineKHit64 drives the engine's marked-vertex search, the
+// primitive behind the netsim walk queries and the p2psearch example.
+func BenchmarkEngineKHit64(b *testing.B) {
+	g := manywalks.NewMargulisExpander(24)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	marked := make([]bool, g.N())
+	for v := 50; v < g.N(); v += 97 {
+		marked[v] = true
+	}
+	starts := make([]int32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.KHit(starts, marked, uint64(i), 1<<20).Hit {
+			b.Fatal("no hit")
+		}
+	}
+}
+
 func BenchmarkWalkerSteps(b *testing.B) {
 	g := manywalks.NewTorus2D(64)
 	w := manywalks.NewWalker(g, 0, manywalks.NewRand(1))

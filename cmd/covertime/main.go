@@ -21,6 +21,7 @@ func main() {
 	k := flag.Int("k", 4, "number of parallel walks")
 	trials := flag.Int("trials", 400, "Monte Carlo trials")
 	seed := flag.Uint64("seed", 20080614, "root RNG seed")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	r := manywalks.NewRand(*seed)
@@ -31,6 +32,7 @@ func main() {
 	}
 	opts := manywalks.MCOptions{
 		Trials:   *trials,
+		Workers:  *workers,
 		Seed:     *seed,
 		MaxSteps: 100 * int64(g.N()) * int64(g.N()),
 	}

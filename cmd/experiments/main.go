@@ -20,6 +20,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use small graph sizes")
 	trials := flag.Int("trials", 0, "Monte Carlo trials per estimate (0 = default)")
 	seed := flag.Uint64("seed", 0, "root RNG seed (0 = default)")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -32,6 +33,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	start := time.Now()
 	allPass := true

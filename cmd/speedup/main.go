@@ -91,6 +91,7 @@ func main() {
 	trials := flag.Int("trials", 300, "Monte Carlo trials per estimate")
 	seed := flag.Uint64("seed", 20080614, "root RNG seed")
 	startFlag := flag.Int("start", -1, "start vertex (-1 = family default)")
+	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	r := manywalks.NewRand(*seed)
@@ -111,6 +112,7 @@ func main() {
 	}
 	opts := manywalks.MCOptions{
 		Trials:   *trials,
+		Workers:  *workers,
 		Seed:     *seed,
 		MaxSteps: 100 * int64(g.N()) * int64(g.N()),
 	}

@@ -85,3 +85,48 @@ func ExampleMixingTime() {
 	fmt.Printf("t_m = %d\n", manywalks.MixingTime(g, 0, nil, 100))
 	// Output: t_m = 1
 }
+
+// The batched engine runs the paper's synchronized k-walk and is
+// bit-for-bit deterministic: a fixed (graph, start, k, seed) yields the
+// same cover round under every worker/batch configuration.
+func ExampleNewEngine() {
+	g := manywalks.NewTorus2D(8)
+	a := manywalks.NewEngine(g, manywalks.EngineOptions{Workers: 1, BatchRounds: 2})
+	b := manywalks.NewEngine(g, manywalks.EngineOptions{Workers: 8, BatchRounds: 64})
+	ra := a.KCoverFrom(0, 8, 7, 1<<20)
+	rb := b.KCoverFrom(0, 8, 7, 1<<20)
+	fmt.Printf("covered=%v configsAgree=%v\n", ra.Covered, ra == rb)
+	// Output: covered=true configsAgree=true
+}
+
+// RunKWalk is the one-shot form: a C^k sample with default engine options.
+func ExampleRunKWalk() {
+	g := manywalks.NewCycle(64)
+	res := manywalks.RunKWalk(g, 0, 8, 42, 1<<20)
+	again := manywalks.RunKWalk(g, 0, 8, 42, 1<<20)
+	fmt.Printf("covered=%v reproducible=%v\n", res.Covered, res == again)
+	// Output: covered=true reproducible=true
+}
+
+// KFirstVisits exposes the per-vertex first-visit rounds behind coverage
+// profiles; a start vertex is visited at round 0.
+func ExampleEngine_KFirstVisits() {
+	g := manywalks.NewCycle(12)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	first := eng.KFirstVisits([]int32{5}, 1, 1000)
+	neighborsVisitedLater := first[4] > 0 && first[6] > 0
+	fmt.Printf("first[start]=%d neighborsVisitedLater=%v\n", first[5], neighborsVisitedLater)
+	// Output: first[start]=0 neighborsVisitedLater=true
+}
+
+// KHit answers search queries: the round at which any of the k walkers
+// first stands on a marked vertex.
+func ExampleEngine_KHit() {
+	g := manywalks.NewTorus2D(8)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	marked := make([]bool, g.N())
+	marked[27] = true
+	res := eng.KHit([]int32{0, 0, 0, 0}, marked, 9, 1<<20)
+	fmt.Printf("hit=%v vertex=%d\n", res.Hit, res.Vertex)
+	// Output: hit=true vertex=27
+}

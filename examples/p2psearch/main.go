@@ -31,25 +31,16 @@ const (
 	maxRounds = 1 << 20
 )
 
-// searchOnce runs one k-walker query from start and returns the number of
-// rounds until any walker stands on a replica, plus total steps spent.
-func searchOnce(g *manywalks.Graph, start int32, k int, isReplica []bool, r *manywalks.Rand) (rounds, steps int) {
-	walkers := make([]*manywalks.Walker, k)
-	for i := range walkers {
-		walkers[i] = manywalks.NewWalker(g, start, r)
-	}
+// searchOnce runs one k-walker query through the batched engine and
+// returns the number of rounds until any walker stands on a replica, plus
+// total steps spent (every walker steps once per elapsed round — the
+// query's message cost).
+func searchOnce(eng *manywalks.Engine, start int32, k int, isReplica []bool, seed uint64) (rounds, steps int) {
 	if isReplica[start] {
 		return 0, 0
 	}
-	for t := 1; t <= maxRounds; t++ {
-		for _, w := range walkers {
-			steps++
-			if isReplica[w.Step()] {
-				return t, steps
-			}
-		}
-	}
-	return maxRounds, steps
+	res := eng.KHitFrom(start, k, isReplica, seed, maxRounds)
+	return int(res.Rounds), k * int(res.Rounds)
 }
 
 func main() {
@@ -74,13 +65,15 @@ func main() {
 		}
 	}
 
+	// One engine serves every query; each query gets its own seed, so the
+	// whole sweep is reproducible and trivially parallelizable.
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
 	fmt.Printf("%-4s %-16s %-16s %-14s\n", "k", "mean latency", "mean messages", "latency gain")
 	var baseline float64
 	for _, k := range []int{1, 2, 4, 8, 16, 32} {
 		totalRounds, totalSteps := 0, 0
 		for q := 0; q < queries; q++ {
-			qr := manywalks.NewRandStream(1234, uint64(k*1000003+q))
-			rounds, steps := searchOnce(g, 0, k, isReplica, qr)
+			rounds, steps := searchOnce(eng, 0, k, isReplica, uint64(k*1000003+q))
 			totalRounds += rounds
 			totalSteps += steps
 		}

@@ -57,17 +57,11 @@ func twoCommunities(half int, seed uint64) (*manywalks.Graph, int32, int32) {
 }
 
 // test runs one k-walk connectivity test: true if any of the k length-L
-// walks from s touches t.
-func test(g *manywalks.Graph, s, t int32, k int, L int64, r *manywalks.Rand) bool {
-	for i := 0; i < k; i++ {
-		w := manywalks.NewWalker(g, s, r)
-		for step := int64(0); step < L; step++ {
-			if w.Step() == t {
-				return true
-			}
-		}
-	}
-	return false
+// walks from s touches t. The k walks run as one synchronized batch on
+// the engine — the event "some walk of length L hits t" is identical
+// whether the walks run sequentially or in parallel rounds.
+func test(eng *manywalks.Engine, isTarget []bool, s int32, k int, L int64, seed uint64) bool {
+	return eng.KHitFrom(s, k, isTarget, seed, L).Hit
 }
 
 func main() {
@@ -81,12 +75,14 @@ func main() {
 	fmt.Printf("network: %s, n=%d, bridge edge between communities\n", g.Name(), n)
 	fmt.Printf("testing s=%d (community A) against t=%d (community B), walk length L=%d\n\n", s, t, L)
 
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	isTarget := make([]bool, n)
+	isTarget[t] = true
 	fmt.Printf("%-4s %-14s %-24s\n", "k", "P[detect]", "implied per-walk p̂")
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		hits := 0
 		for q := 0; q < trialsPerSetting; q++ {
-			r := manywalks.NewRandStream(2718, uint64(k)<<40|uint64(q))
-			if test(g, s, t, k, L, r) {
+			if test(eng, isTarget, s, k, L, uint64(k)<<40|uint64(q)) {
 				hits++
 			}
 		}
@@ -103,10 +99,12 @@ func main() {
 
 	// Control: genuinely disconnected input must never produce a false yes.
 	gd, sd, td := disconnected(half)
+	engD := manywalks.NewEngine(gd, manywalks.EngineOptions{})
+	isTargetD := make([]bool, gd.N())
+	isTargetD[td] = true
 	falseYes := 0
 	for q := 0; q < 200; q++ {
-		r := manywalks.NewRandStream(555, uint64(q))
-		if test(gd, sd, td, 16, L, r) {
+		if test(engD, isTargetD, sd, 16, L, uint64(q)) {
 			falseYes++
 		}
 	}

@@ -1,0 +1,3 @@
+module manywalks
+
+go 1.22

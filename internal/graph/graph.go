@@ -71,6 +71,13 @@ func (g *Graph) Neighbor(v int32, i int) int32 {
 	return g.adj[int(g.offsets[v])+i]
 }
 
+// CSR exposes the graph's raw compressed-sparse-row arrays: offsets has
+// length n+1 and the adjacency of v is adj[offsets[v]:offsets[v+1]]. It
+// exists for hot-path consumers (the batched walk engine) that cannot
+// afford a slice-header construction per step. Both slices alias internal
+// storage and must not be modified.
+func (g *Graph) CSR() (offsets, adj []int32) { return g.offsets, g.adj }
+
 // HasEdge reports whether {u,v} is an edge (or a self-loop when u == v).
 func (g *Graph) HasEdge(u, v int32) bool {
 	nb := g.Neighbors(u)

@@ -306,11 +306,14 @@ func RunSearchTradeoff(cfg Config) (*Report, error) {
 	}
 	walkAgg := map[int]*agg{}
 	var walkLatency1 float64
+	// Queries run on the batched k-walk engine (netsim.RunWalkQueryEngine),
+	// constructed once for the overlay and shared across all trials.
+	queryEngine := walk.NewEngine(g, walk.EngineOptions{})
 	for _, k := range []int{1, 4, 16} {
 		a := &agg{}
 		for q := 0; q < queries; q++ {
-			res := netsim.RunWalkQuery(g, 0, k, ttl, hasItem,
-				rng.NewStream(cfg.Seed, hashKey(fmt.Sprintf("search-%d-%d", k, q))))
+			res := netsim.RunWalkQueryEngine(queryEngine, 0, k, ttl, hasItem,
+				cfg.Seed^hashKey(fmt.Sprintf("search-%d-%d", k, q)))
 			if res.Found {
 				a.found++
 				a.rounds += int64(res.Rounds)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"manywalks/internal/graph"
 	"manywalks/internal/rng"
+	"manywalks/internal/walk"
 )
 
 // QueryResult summarizes one search execution.
@@ -44,6 +45,11 @@ func (q *walkQuery) Deliver(net *Network, node NodeID, msg Message) {
 // RunWalkQuery launches k random-walk tokens from origin, each with the
 // given TTL, and reports whether any token reached a node with the item.
 // A hit at the origin itself is reported immediately as 0 rounds.
+//
+// This is the message-level reference simulator: every token hop is a
+// delivered Message. The production path for large fleets is
+// RunWalkQueryBatched, which drives the same protocol through the batched
+// k-walk engine.
 func RunWalkQuery(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bool, r *rng.Source) QueryResult {
 	q := &walkQuery{hasItem: hasItem}
 	net := New(g, q, r)
@@ -134,4 +140,33 @@ func RunMembershipSampling(g *graph.Graph, origin NodeID, count, walkLen int, r 
 	}
 	net.Run(walkLen + 1)
 	return s.samples
+}
+
+// RunWalkQueryBatched answers the same query as RunWalkQuery but drives
+// the k tokens through the batched k-walk engine instead of per-message
+// delivery: the tokens are k synchronized walkers from origin, and the
+// query succeeds when any walker stands on a node with the item within ttl
+// rounds. Determinism comes from the engine's per-walker streams under
+// seed rather than a shared rng.Source.
+//
+// Message accounting matches the synchronized protocol: every token
+// forwards once per round until the hit round (or TTL exhaustion), so the
+// query costs k messages per elapsed round. Unlike RunWalkQuery, Rounds
+// reports ttl (not 0) when the query fails.
+func RunWalkQueryBatched(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bool, seed uint64) QueryResult {
+	return RunWalkQueryEngine(walk.NewEngine(g, walk.EngineOptions{}), origin, k, ttl, hasItem, seed)
+}
+
+// RunWalkQueryEngine is RunWalkQueryBatched on a caller-held engine, for
+// workloads that issue many queries against one topology and want to pay
+// the engine's table construction once.
+func RunWalkQueryEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem []bool, seed uint64) QueryResult {
+	if hasItem[origin] {
+		return QueryResult{Found: true, Rounds: 0, Messages: 0}
+	}
+	res := eng.KHitFrom(origin, k, hasItem, seed, int64(ttl))
+	if res.Hit {
+		return QueryResult{Found: true, Rounds: int(res.Rounds), Messages: int64(k) * res.Rounds}
+	}
+	return QueryResult{Found: false, Rounds: ttl, Messages: int64(k) * int64(ttl)}
 }

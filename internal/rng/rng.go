@@ -38,11 +38,20 @@ func New(seed uint64) *Source {
 // Streams with different (seed, stream) pairs are independent; this is the
 // mechanism used to give each Monte Carlo trial its own generator.
 func NewStream(seed, stream uint64) *Source {
+	return New(StreamSeed(seed, stream))
+}
+
+// StreamSeed returns the derived seed NewStream(seed, stream) reseeds with.
+// The batched walk engine uses it to initialize per-walker streams in place
+// (one Source per walker in a flat slice) without allocating a Source per
+// walker; Reseed(StreamSeed(seed, i)) is state-identical to
+// *NewStream(seed, i).
+func StreamSeed(seed, stream uint64) uint64 {
 	x := seed
 	a := splitmix64(&x)
 	x = stream ^ 0x9e3779b97f4a7c15
 	b := splitmix64(&x)
-	return New(a ^ bits.RotateLeft64(b, 31))
+	return a ^ bits.RotateLeft64(b, 31)
 }
 
 // Reseed re-initializes the state from seed via splitmix64.
@@ -57,6 +66,23 @@ func (r *Source) Reseed(seed uint64) {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s3 = 1
 	}
+}
+
+// State returns the four xoshiro256++ state words. Together with SetState
+// it lets register-resident hot loops (the batched walk engine's step
+// kernel) carry the generator in locals across many steps instead of
+// calling Uint64 through a pointer; the loop must apply the exact xoshiro
+// update from Uint64, which the engine's tests pin against this package.
+func (r *Source) State() (s0, s1, s2, s3 uint64) {
+	return r.s0, r.s1, r.s2, r.s3
+}
+
+// SetState overwrites the state words; the state must not be all zero.
+func (r *Source) SetState(s0, s1, s2, s3 uint64) {
+	if s0|s1|s2|s3 == 0 {
+		panic("rng: all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

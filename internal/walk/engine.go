@@ -1,0 +1,734 @@
+package walk
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// This file implements the batched k-walk engine, the hot path behind every
+// cover-time, partial-cover, and hit-time estimate in the repository.
+//
+// The legacy simulators in walk.go advance walkers through Walker.Step,
+// paying a slice-header construction and a non-inlinable shared-RNG call
+// per step. The engine instead keeps all walker state in flat arrays —
+// positions in a []int32, one xoshiro256++ stream per walker in a
+// []rng.Source — and advances the whole walker array in *batches* of
+// rounds between synchronization barriers:
+//
+//  1. Step: each worker owns a contiguous shard of walkers and advances it
+//     strictly round-major (all walkers step round t before any steps
+//     t+1), which keeps the per-walker load chains independent so the CPU
+//     overlaps their cache misses. Each walker stretches one 64-bit
+//     xoshiro draw across a *group* of rounds through a per-walker bit
+//     reservoir (see the draw discipline below), so the generator state is
+//     loaded and stored once per group instead of once per step. Each
+//     worker marks a private visited set and appends (round, vertex) to a
+//     private log — naturally sorted by round — whenever it sees a vertex
+//     for the first time.
+//  2. Merge: at the batch barrier one pass sweeps the worker logs in round
+//     order, folding them into the shared visited set and detecting the
+//     exact round at which the stop condition fired, even mid-batch.
+//
+// Draw discipline (pinned by TestEngineMatchesWalkerReplay against an
+// independent reimplementation): walker i consumes the stream
+// rng.NewStream(seed, i). Rounds are processed in groups of g, aligned to
+// absolute round numbers (rounds (m*g, (m+1)*g] form group m). With a
+// padded table of stride 2^s, a step needs s random bits and g = 64/s:
+// at the first round of a group the walker draws one Uint64, steps by its
+// low s bits, and banks the remaining 64-s bits in a reservoir; each later
+// round of the group shifts the next s bits out of the reservoir. Without
+// a padded table g = 2 and the lanes are the draw's low and high 32 bits,
+// reduced to [0,deg) by Lemire multiply-shift. A rejected lane — a padding
+// sentinel, or Lemire's low region (probability deg/2^32) — draws a fresh
+// Uint64 and retries with its low lane, leaving the reservoir intact.
+// Batches always span whole groups, so results are bit-for-bit identical
+// for a fixed (graph, starts, seed, budget) regardless of Workers and
+// BatchRounds. Walkers overshooting the stop round inside a batch are
+// simply discarded with the rest of the batch.
+
+// EngineOptions tunes the batched k-walk engine. The zero value selects
+// sensible defaults; no option affects results, only performance.
+type EngineOptions struct {
+	// Workers caps the goroutines stepping walker shards concurrently.
+	// 0 or negative selects runtime.NumCPU(). A run never uses more than
+	// one worker per minShardWalkers walkers, so small k stays sequential.
+	Workers int
+	// BatchRounds is the number of rounds advanced between merge barriers,
+	// rounded up to a whole number of draw groups (the rounds one 64-bit
+	// draw funds — 2 in CSR mode, 64/s for a padded table of stride 2^s,
+	// so up to 64). 0 or negative selects the default: 64 for sharded
+	// runs, 16 for single-worker runs, whose merges are cheap and whose
+	// overshoot past the stop round is pure waste. Larger batches
+	// amortize the barrier but overshoot further; results are unaffected
+	// either way.
+	BatchRounds int
+}
+
+const (
+	defaultBatchRounds    = 64
+	defaultSeqBatchRounds = 16
+	// minShardWalkers is the smallest shard worth a goroutine; below this
+	// the barrier overhead dominates the stepping work.
+	minShardWalkers = 16
+)
+
+// Engine is a batched simulator for the paper's synchronized k-walk on one
+// fixed graph. It is immutable after construction and safe for concurrent
+// use: every run allocates (or borrows from an internal pool) its own
+// walker state.
+type Engine struct {
+	g   *graph.Graph
+	adj []int32
+	// vtx packs vertex v's CSR range as offset<<32 | degree, halving the
+	// per-step metadata loads relative to two offsets lookups.
+	vtx []uint64
+	// pad, when non-nil, holds every vertex's neighbors replicated into a
+	// power-of-two stride (1 << padShift slots per vertex): slot s of
+	// vertex v is its (s mod deg)-th neighbor for s < deg*(stride/deg),
+	// and the padSentinel for the remaining slots. Sampling a slot with
+	// one masked lookup replaces the offsets-then-adjacency load chain
+	// with a single dependent load; sentinel slots redraw, keeping the
+	// choice exactly uniform. Built only when the table stays small
+	// enough to be worth it (maxPadEntries).
+	pad      []int32
+	padShift uint32
+	group    int // rounds funded by one 64-bit draw; batches span whole groups
+	workers  int
+	batch    int       // rounds per barrier for sharded (multi-worker) runs
+	seqBatch int       // rounds per merge for single-worker runs (overshoot is pure waste there)
+	pool     sync.Pool // *runState, reused across runs to cut allocation churn
+}
+
+const (
+	padSentinel   = int32(-1)
+	maxPadEntries = 1 << 21 // 8 MiB of padded table at 4 bytes per slot
+)
+
+// NewEngine returns an engine for g. It panics if any vertex is isolated
+// (a walker there would have no move), mirroring Walker's constructor
+// contract of rejecting impossible starts up front.
+func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
+	offsets, adj := g.CSR()
+	n := g.N()
+	vtx := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		off, deg := offsets[v], offsets[v+1]-offsets[v]
+		if deg == 0 {
+			panic(fmt.Sprintf("walk: engine requires min degree 1, vertex %d is isolated", v))
+		}
+		vtx[v] = uint64(uint32(off))<<32 | uint64(uint32(deg))
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	batch := opts.BatchRounds
+	seqBatch := batch
+	if batch <= 0 {
+		// Unset: big batches amortize the multi-worker barrier, while a
+		// single-worker run merges cheaply and only wastes its overshoot
+		// past the stop round, so it prefers short batches.
+		batch, seqBatch = defaultBatchRounds, defaultSeqBatchRounds
+	}
+	e := &Engine{g: g, adj: adj, vtx: vtx, workers: workers}
+	e.group = 2
+	_, maxDeg := g.DegreeStats()
+	shift := uint32(bits.Len(uint(maxDeg - 1)))
+	if shift == 0 {
+		shift = 1 // a stride-1 table still banks one (unused) bit per round
+	}
+	if stride := 1 << shift; n<<shift <= maxPadEntries {
+		pad := make([]int32, n<<shift)
+		for v := 0; v < n; v++ {
+			nb := adj[offsets[v]:offsets[v+1]]
+			deg := len(nb)
+			filled := (stride / deg) * deg
+			row := pad[v<<shift : (v+1)<<shift]
+			for s := 0; s < filled; s++ {
+				row[s] = nb[s%deg]
+			}
+			for s := filled; s < stride; s++ {
+				row[s] = padSentinel
+			}
+		}
+		e.pad, e.padShift = pad, shift
+		e.group = 64 / int(shift)
+	}
+	// Batches must span whole groups so the reservoir never crosses a
+	// barrier.
+	roundUp := func(b int) int { return (b + e.group - 1) / e.group * e.group }
+	e.batch, e.seqBatch = roundUp(batch), roundUp(seqBatch)
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// HitResult reports a marked-vertex search (KHit).
+type HitResult struct {
+	Rounds int64 // rounds to the first hit, or the budget if !Hit
+	Vertex int32 // the marked vertex hit, -1 if none
+	Walker int   // index of the hitting walker, -1 if none
+	Hit    bool
+}
+
+// xoshiroNext is the xoshiro256++ transition, kept as a tiny pure function
+// so the kernels inline it with the state in registers. It must match
+// rng.Source.Uint64 bit for bit.
+func xoshiroNext(s0, s1, s2, s3 uint64) (x, r0, r1, r2, r3 uint64) {
+	x = bits.RotateLeft64(s0+s3, 23) + s0
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = bits.RotateLeft64(s3, 45)
+	return x, s0, s1, s2, s3
+}
+
+// reduce32 maps a 32-bit lane to [0,deg) by Lemire multiply-shift; ok is
+// false when the lane falls in the rejected low region and must be
+// redrawn, which keeps the reduction exactly uniform.
+func reduce32(lane, deg uint32) (idx uint32, ok bool) {
+	m := uint64(lane) * uint64(deg)
+	if uint32(m) < deg && uint32(m) < -deg%deg {
+		return 0, false
+	}
+	return uint32(m >> 32), true
+}
+
+// visitEntry records a worker-locally new vertex and the round it was
+// reached.
+type visitEntry struct {
+	t int64
+	v int32
+}
+
+// worker is one shard's private visited state; log holds its first visits
+// in round order and cur is the merge sweep's cursor into it.
+type worker struct {
+	lo, hi int
+	seen   []uint8 // view: the private buf, or the run's merged set when sharing
+	buf    []uint8
+	log    []visitEntry
+	cur    int
+	// hit-mode result for the current batch
+	hitT int64
+	hitV int32
+	hitI int
+}
+
+// runState is the per-run mutable state; pooled because Monte Carlo
+// estimators start thousands of short runs on one engine.
+type runState struct {
+	k       int
+	batch   int
+	pos     []int32      // current vertex per walker
+	streams []rng.Source // one independent stream per walker
+	res     []uint64     // per-walker bit reservoir banking the rest of a group's draw
+	seen    []uint8      // merged (global) visited set, one byte per vertex (byte
+	// probes sidestep the store-to-load stalls word-sized bitsets suffer
+	// when many walkers touch the same words)
+	count int // distinct vertices visited
+	ws    []worker
+}
+
+// newRun borrows or allocates run state for k walkers placed at starts,
+// with walker i driven by the independent stream (seed, i). workers is the
+// shard count the run will use.
+func (e *Engine) newRun(starts []int32, seed uint64, workers int) *runState {
+	k := len(starts)
+	if k == 0 {
+		panic("walk: k-walk requires at least one walker")
+	}
+	n := e.g.N()
+	st, _ := e.pool.Get().(*runState)
+	if st == nil {
+		st = &runState{}
+	}
+	st.k, st.count = k, 0
+	st.batch = e.batch
+	if workers == 1 {
+		st.batch = e.seqBatch
+	}
+	if cap(st.pos) < k {
+		st.pos = make([]int32, k)
+		st.streams = make([]rng.Source, k)
+		st.res = make([]uint64, k)
+	}
+	st.pos, st.streams, st.res = st.pos[:k], st.streams[:k], st.res[:k]
+	if cap(st.seen) < n {
+		st.seen = make([]uint8, n)
+	}
+	st.seen = st.seen[:n]
+	clear(st.seen)
+	for i, s := range starts {
+		if s < 0 || int(s) >= n {
+			panic(fmt.Sprintf("walk: start %d out of range", s))
+		}
+		st.pos[i] = s
+		st.streams[i].Reseed(rng.StreamSeed(seed, uint64(i)))
+	}
+	if cap(st.ws) < workers {
+		st.ws = make([]worker, workers)
+	}
+	st.ws = st.ws[:workers]
+	chunk := (k + workers - 1) / workers
+	for w := range st.ws {
+		ws := &st.ws[w]
+		ws.lo = min(w*chunk, k)
+		ws.hi = min(ws.lo+chunk, k)
+		if workers == 1 {
+			// A lone worker shares the merged set directly: no per-batch
+			// copy, and every logged entry is globally new by construction.
+			ws.seen = st.seen
+		} else {
+			if cap(ws.buf) < n {
+				ws.buf = make([]uint8, n)
+			}
+			ws.buf = ws.buf[:n]
+			ws.seen = ws.buf
+		}
+		if ws.log == nil {
+			ws.log = make([]visitEntry, 0, 128)
+		}
+	}
+	return st
+}
+
+// workersFor picks the shard count for k walkers.
+func (e *Engine) workersFor(k int) int {
+	w := e.workers
+	if limit := k / minShardWalkers; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// The step kernels below advance one round for walkers [lo,hi), writing
+// only pos/streams/res — after a round-major step pass, pos[lo:hi] IS the
+// round's frontier, and the cover/hit bookkeeping runs as a separate tight
+// scan over it. Keeping the loops this small is deliberate: a fused loop
+// holds too many values live and the compiler spills them to the stack on
+// every step. The reservoir draw discipline implemented here is pinned by
+// TestEngineMatchesWalkerReplay.
+
+// stepRoundDrawPad: the first round of a group draws one Uint64, steps by
+// its low lane, and banks the remaining bits in the reservoir. Sentinel
+// slots redraw with a fresh Uint64's low lane, reservoir intact.
+func (e *Engine) stepRoundDrawPad(st *runState, lo, hi int) {
+	pad, shift := e.pad, e.padShift
+	mask := uint64(1)<<shift - 1
+	pos := st.pos[lo:hi]
+	streams := st.streams[lo:hi]
+	res := st.res[lo:hi]
+	for ii := range pos {
+		s0, s1, s2, s3 := streams[ii].State()
+		p := pos[ii]
+		var x uint64
+		x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		res[ii] = x >> shift
+		np := pad[uint64(uint32(p))<<shift|x&mask]
+		for np == padSentinel {
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			np = pad[uint64(uint32(p))<<shift|x&mask]
+		}
+		pos[ii] = np
+		streams[ii].SetState(s0, s1, s2, s3)
+	}
+}
+
+// stepRoundConsumePad: later rounds of a group shift the next lane out of
+// the reservoir, touching no RNG state at all unless a sentinel forces a
+// redraw.
+func (e *Engine) stepRoundConsumePad(st *runState, lo, hi int) {
+	pad, shift := e.pad, e.padShift
+	mask := uint64(1)<<shift - 1
+	pos := st.pos[lo:hi]
+	streams := st.streams[lo:hi]
+	res := st.res[lo:hi]
+	for ii := range pos {
+		p := pos[ii]
+		r := res[ii]
+		res[ii] = r >> shift
+		np := pad[uint64(uint32(p))<<shift|r&mask]
+		for np == padSentinel {
+			var x uint64
+			s0, s1, s2, s3 := streams[ii].State()
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			streams[ii].SetState(s0, s1, s2, s3)
+			np = pad[uint64(uint32(p))<<shift|x&mask]
+		}
+		pos[ii] = np
+	}
+}
+
+// stepRoundDrawCSR / stepRoundConsumeCSR are the general-graph variants
+// (g = 2): the draw's low and high 32 bits are Lemire-reduced against the
+// packed (offset,degree) CSR metadata.
+func (e *Engine) stepRoundDrawCSR(st *runState, lo, hi int) {
+	vtx, adj := e.vtx, e.adj
+	pos := st.pos[lo:hi]
+	streams := st.streams[lo:hi]
+	res := st.res[lo:hi]
+	for ii := range pos {
+		s0, s1, s2, s3 := streams[ii].State()
+		p := pos[ii]
+		var x uint64
+		x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		res[ii] = x >> 32
+		meta := vtx[p]
+		idx, ok := reduce32(uint32(x), uint32(meta))
+		for !ok {
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			idx, ok = reduce32(uint32(x), uint32(meta))
+		}
+		pos[ii] = adj[uint32(meta>>32)+idx]
+		streams[ii].SetState(s0, s1, s2, s3)
+	}
+}
+
+func (e *Engine) stepRoundConsumeCSR(st *runState, lo, hi int) {
+	vtx, adj := e.vtx, e.adj
+	pos := st.pos[lo:hi]
+	streams := st.streams[lo:hi]
+	res := st.res[lo:hi]
+	for ii := range pos {
+		p := pos[ii]
+		meta := vtx[p]
+		idx, ok := reduce32(uint32(res[ii]), uint32(meta))
+		for !ok {
+			var x uint64
+			s0, s1, s2, s3 := streams[ii].State()
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			streams[ii].SetState(s0, s1, s2, s3)
+			idx, ok = reduce32(uint32(x), uint32(meta))
+		}
+		pos[ii] = adj[uint32(meta>>32)+idx]
+	}
+}
+
+// stepRound dispatches one round's step pass; rounds (m*g, (m+1)*g] form
+// group m and the group's first round draws.
+func (e *Engine) stepRound(st *runState, lo, hi int, t int64) {
+	draw := (t-1)%int64(e.group) == 0
+	if e.pad != nil {
+		if draw {
+			e.stepRoundDrawPad(st, lo, hi)
+		} else {
+			e.stepRoundConsumePad(st, lo, hi)
+		}
+		return
+	}
+	if draw {
+		e.stepRoundDrawCSR(st, lo, hi)
+	} else {
+		e.stepRoundConsumeCSR(st, lo, hi)
+	}
+}
+
+// coverScan folds one round's frontier into the worker's seen set, logging
+// first visits. The loop is branchless — the entry is written
+// unconditionally and the cursor advances by the complement of the seen
+// byte — because mid-coverage the "already seen?" branch is a coin flip
+// and the mispredictions would dominate the scan.
+func coverScan(pos []int32, seen []uint8, log []visitEntry, t int64) []visitEntry {
+	log = slices.Grow(log, len(pos))
+	buf := log[:cap(log)]
+	c := len(log)
+	for _, p := range pos {
+		buf[c] = visitEntry{t: t, v: p}
+		c += 1 - int(seen[p])
+		seen[p] = 1
+	}
+	return buf[:c]
+}
+
+// hitScan returns the in-shard index of the first walker standing on a
+// marked vertex this round, or -1.
+func hitScan(pos []int32, marked []uint64) int {
+	for ii, p := range pos {
+		if marked[p>>6]&(1<<uint(p&63)) != 0 {
+			return ii
+		}
+	}
+	return -1
+}
+
+// stepShard advances walkers [lo,hi) through rounds (t0, t0+b], t0 a
+// group boundary, marking the worker's seen set and logging each
+// first-seen vertex in round order. A lone worker shares the merged set,
+// so it knows the global visit count and stops as soon as target is
+// reached — mid-batch, with no overshoot; sharded workers always run the
+// full batch and let the merge find the stop round. target <= 0 disables
+// the check.
+func (e *Engine) stepShard(st *runState, ws *worker, b int, t0 int64, target int) {
+	single := len(st.ws) == 1
+	for j := 0; j < b; j++ {
+		t := t0 + int64(j) + 1
+		e.stepRound(st, ws.lo, ws.hi, t)
+		ws.log = coverScan(st.pos[ws.lo:ws.hi], ws.seen, ws.log, t)
+		if single && target > 0 && st.count+len(ws.log) >= target {
+			return
+		}
+	}
+}
+
+// stepShardHit advances walkers [lo,hi) through rounds (t0, t0+b], t0 a
+// group boundary, stopping at the end of the first round in which a walker
+// of this shard stood on a marked vertex (lowest walker index wins within
+// the round) and leaving the result in the worker struct.
+func (e *Engine) stepShardHit(st *runState, ws *worker, b int, t0 int64, marked []uint64) {
+	ws.hitT, ws.hitV, ws.hitI = -1, -1, -1
+	for j := 0; j < b; j++ {
+		t := t0 + int64(j) + 1
+		e.stepRound(st, ws.lo, ws.hi, t)
+		if ii := hitScan(st.pos[ws.lo:ws.hi], marked); ii >= 0 {
+			ws.hitT, ws.hitV, ws.hitI = t, st.pos[ws.lo+ii], ws.lo+ii
+			return
+		}
+	}
+}
+
+// runBatch executes one batch of b rounds across the run's workers. In
+// cover mode (marked == nil) each worker logs first visits, stopping early
+// at target when it can see the global count; in hit mode it scans for
+// marked vertices.
+func (e *Engine) runBatch(st *runState, b int, t0 int64, target int, marked []uint64) {
+	run := func(ws *worker) {
+		if marked != nil {
+			e.stepShardHit(st, ws, b, t0, marked)
+		} else {
+			e.stepShard(st, ws, b, t0, target)
+		}
+	}
+	if len(st.ws) == 1 {
+		run(&st.ws[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for w := range st.ws {
+		ws := &st.ws[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(ws)
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeCover folds the workers' batch logs into the shared bitset in round
+// order and returns the exact round at which the distinct-visit count
+// reached target, or -1. When first is non-nil it records each vertex's
+// first-visit round. Worker logs are consumed and reset.
+func (st *runState) mergeCover(b int, t0 int64, target int, first []int64) int64 {
+	if len(st.ws) == 1 {
+		// The worker marked the shared bitset itself, so its log is exactly
+		// the globally new vertices in round order.
+		for _, en := range st.ws[0].log {
+			st.count++
+			if first != nil {
+				first[en.v] = en.t
+			}
+			if st.count >= target {
+				st.resetLogs()
+				return en.t
+			}
+		}
+		st.resetLogs()
+		return -1
+	}
+	seen := st.seen
+	for w := range st.ws {
+		st.ws[w].cur = 0
+	}
+	for t := t0 + 1; t <= t0+int64(b); t++ {
+		for w := range st.ws {
+			ws := &st.ws[w]
+			log := ws.log
+			c := ws.cur
+			for c < len(log) && log[c].t == t {
+				v := log[c].v
+				c++
+				if seen[v] == 0 {
+					seen[v] = 1
+					st.count++
+					if first != nil {
+						first[v] = t
+					}
+					if st.count >= target {
+						st.resetLogs()
+						return t
+					}
+				}
+			}
+			ws.cur = c
+		}
+	}
+	st.resetLogs()
+	return -1
+}
+
+func (st *runState) resetLogs() {
+	for w := range st.ws {
+		st.ws[w].log = st.ws[w].log[:0]
+	}
+}
+
+// seedWorkerSeen copies the merged visited bitset into every worker's
+// private bitset so already-known vertices are not re-logged.
+func (st *runState) seedWorkerSeen() {
+	for w := range st.ws {
+		copy(st.ws[w].seen, st.seen)
+	}
+}
+
+// coverRun is the shared driver for KCover, KCoverTarget and KFirstVisits.
+func (e *Engine) coverRun(starts []int32, seed uint64, maxRounds int64, target int, first []int64) CoverResult {
+	st := e.newRun(starts, seed, e.workersFor(len(starts)))
+	defer e.pool.Put(st)
+	for _, s := range starts {
+		if st.seen[s] == 0 {
+			st.seen[s] = 1
+			st.count++
+			if first != nil {
+				first[s] = 0
+			}
+		}
+	}
+	if st.count >= target {
+		return CoverResult{Steps: 0, Covered: true}
+	}
+	if maxRounds <= 0 {
+		return CoverResult{Steps: maxRounds, Covered: false}
+	}
+	for t0 := int64(0); t0 < maxRounds; {
+		b := st.batch
+		if int64(b) > maxRounds-t0 {
+			b = int(maxRounds - t0)
+		}
+		if len(st.ws) > 1 {
+			st.seedWorkerSeen()
+		}
+		e.runBatch(st, b, t0, target, nil)
+		if t := st.mergeCover(b, t0, target, first); t >= 0 {
+			return CoverResult{Steps: t, Covered: true}
+		}
+		t0 += int64(b)
+	}
+	return CoverResult{Steps: maxRounds, Covered: false}
+}
+
+// KCover runs the synchronized k-walk from starts until the union of
+// trajectories covers every vertex, or maxRounds rounds elapse. Walker i is
+// driven by the independent stream (seed, i), so the result is bit-for-bit
+// reproducible and independent of Workers and BatchRounds.
+func (e *Engine) KCover(starts []int32, seed uint64, maxRounds int64) CoverResult {
+	return e.coverRun(starts, seed, maxRounds, e.g.N(), nil)
+}
+
+// commonStarts places all k walkers at one vertex.
+func commonStarts(start int32, k int) []int32 {
+	starts := make([]int32, k)
+	for i := range starts {
+		starts[i] = start
+	}
+	return starts
+}
+
+// KCoverFrom is KCover with all k walkers started at one vertex — the
+// paper's C^k(G, start) experiment.
+func (e *Engine) KCoverFrom(start int32, k int, seed uint64, maxRounds int64) CoverResult {
+	return e.KCover(commonStarts(start, k), seed, maxRounds)
+}
+
+// KCoverTarget runs the k-walk until target distinct vertices have been
+// visited (target = n is full cover); it panics unless 1 <= target <= n.
+func (e *Engine) KCoverTarget(starts []int32, target int, seed uint64, maxRounds int64) CoverResult {
+	if target < 1 || target > e.g.N() {
+		panic(fmt.Sprintf("walk: cover target %d out of range [1,%d]", target, e.g.N()))
+	}
+	return e.coverRun(starts, seed, maxRounds, target, nil)
+}
+
+// KFirstVisits runs the k-walk for at most horizon rounds and returns each
+// vertex's first-visit round (-1 if unvisited; start vertices get 0). The
+// run stops early once every vertex is visited.
+func (e *Engine) KFirstVisits(starts []int32, seed uint64, horizon int64) []int64 {
+	n := e.g.N()
+	first := make([]int64, n)
+	for i := range first {
+		first[i] = -1
+	}
+	e.coverRun(starts, seed, horizon, n, first)
+	return first
+}
+
+// KHit runs the k-walk until some walker stands on a vertex with
+// marked[v] == true, or maxRounds rounds elapse. A marked start vertex hits
+// at round 0; ties within a round resolve to the lowest walker index.
+// len(marked) must equal n.
+func (e *Engine) KHit(starts []int32, marked []bool, seed uint64, maxRounds int64) HitResult {
+	return e.kHit(starts, marked, seed, maxRounds)
+}
+
+// KHitFrom is KHit with all k walkers started at one vertex — the k-token
+// search-query shape.
+func (e *Engine) KHitFrom(start int32, k int, marked []bool, seed uint64, maxRounds int64) HitResult {
+	return e.kHit(commonStarts(start, k), marked, seed, maxRounds)
+}
+
+func (e *Engine) kHit(starts []int32, marked []bool, seed uint64, maxRounds int64) HitResult {
+	n := e.g.N()
+	if len(marked) != n {
+		panic(fmt.Sprintf("walk: marked length %d != n %d", len(marked), n))
+	}
+	for i, s := range starts {
+		if marked[s] {
+			return HitResult{Rounds: 0, Vertex: s, Walker: i, Hit: true}
+		}
+	}
+	bitset := make([]uint64, (n+63)/64)
+	any := false
+	for v, m := range marked {
+		if m {
+			bitset[v>>6] |= 1 << uint(v&63)
+			any = true
+		}
+	}
+	if !any || maxRounds <= 0 {
+		return HitResult{Rounds: maxRounds, Vertex: -1, Walker: -1}
+	}
+	st := e.newRun(starts, seed, e.workersFor(len(starts)))
+	defer e.pool.Put(st)
+	for t0 := int64(0); t0 < maxRounds; {
+		b := st.batch
+		if int64(b) > maxRounds-t0 {
+			b = int(maxRounds - t0)
+		}
+		e.runBatch(st, b, t0, 0, bitset)
+		bestT, bestV, bestI := int64(-1), int32(-1), -1
+		for w := range st.ws {
+			ws := &st.ws[w]
+			if ws.hitT >= 0 && (bestT < 0 || ws.hitT < bestT || (ws.hitT == bestT && ws.hitI < bestI)) {
+				bestT, bestV, bestI = ws.hitT, ws.hitV, ws.hitI
+			}
+		}
+		if bestT >= 0 {
+			return HitResult{Rounds: bestT, Vertex: bestV, Walker: bestI, Hit: true}
+		}
+		t0 += int64(b)
+	}
+	return HitResult{Rounds: maxRounds, Vertex: -1, Walker: -1}
+}

@@ -1,0 +1,103 @@
+package walk
+
+import (
+	"testing"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// Engine-versus-legacy benchmarks on the paper's graph families. Each
+// measures one full k=64 cover from the family's canonical start, the
+// workload behind every C^k estimate. The legacy baseline is the original
+// per-walker loop (KCoverFrom); the engine rows run the batched kernel.
+
+type benchFamily struct {
+	name  string
+	build func() (*graph.Graph, int32)
+}
+
+func benchFamilies() []benchFamily {
+	return []benchFamily{
+		{"cycle1024", func() (*graph.Graph, int32) { return graph.Cycle(1024), 0 }},
+		{"grid2d4096", func() (*graph.Graph, int32) { return graph.Torus2D(64), 0 }},
+		{"expander576", func() (*graph.Graph, int32) { return graph.MargulisExpander(24), 0 }},
+		{"expander4096", func() (*graph.Graph, int32) { return graph.MargulisExpander(64), 0 }},
+		{"barbell513", func() (*graph.Graph, int32) { g, c := graph.Barbell(513); return g, c }},
+	}
+}
+
+const benchK = 64
+
+func BenchmarkKCoverLegacy(b *testing.B) {
+	for _, fam := range benchFamilies() {
+		b.Run(fam.name, func(b *testing.B) {
+			g, start := fam.build()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := KCoverFrom(g, start, benchK, rng.NewStream(42, uint64(i)), 1<<40)
+				if !res.Covered {
+					b.Fatal("not covered")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKCoverEngine(b *testing.B) {
+	for _, fam := range benchFamilies() {
+		b.Run(fam.name, func(b *testing.B) {
+			g, start := fam.build()
+			eng := NewEngine(g, EngineOptions{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.KCoverFrom(start, benchK, uint64(i), 1<<40)
+				if !res.Covered {
+					b.Fatal("not covered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKCoverEngineSeq pins the engine to one worker, isolating the
+// kernel's sequential gain from goroutine parallelism.
+func BenchmarkKCoverEngineSeq(b *testing.B) {
+	for _, fam := range benchFamilies() {
+		b.Run(fam.name, func(b *testing.B) {
+			g, start := fam.build()
+			eng := NewEngine(g, EngineOptions{Workers: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.KCoverFrom(start, benchK, uint64(i), 1<<40)
+				if !res.Covered {
+					b.Fatal("not covered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKWalkThroughput measures raw stepping throughput with a fixed
+// round budget on a graph too large to cover within it, so legacy and
+// engine execute exactly the same number of walker-steps: 64 walkers x
+// 2000 rounds on the n=16384 expander (128k steps per op).
+func BenchmarkKWalkThroughput(b *testing.B) {
+	g := graph.MargulisExpander(128)
+	const rounds = 2000
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if KCoverFrom(g, 0, benchK, rng.NewStream(42, uint64(i)), rounds).Covered {
+				b.Fatal("unexpected cover; raise n")
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := NewEngine(g, EngineOptions{Workers: 1})
+		for i := 0; i < b.N; i++ {
+			if eng.KCoverFrom(0, benchK, uint64(i), rounds).Covered {
+				b.Fatal("unexpected cover; raise n")
+			}
+		}
+	})
+}

@@ -83,15 +83,17 @@ func (e Estimate) Mean() float64 { return e.Summary.Mean }
 func (e Estimate) CI95() float64 { return e.Summary.CI95() }
 
 // EstimateCoverTime estimates the expected single-walk cover time from
-// start.
+// start. Trials run on the batched engine (k = 1), one sequential engine
+// run per Monte Carlo worker.
 func EstimateCoverTime(g *graph.Graph, start int32, opts MCOptions) (Estimate, error) {
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
 	var mu sync.Mutex
 	truncated := 0
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := CoverFrom(g, start, r, opts.MaxSteps)
+		res := eng.KCoverFrom(start, 1, r.Uint64(), opts.MaxSteps)
 		if !res.Covered {
 			mu.Lock()
 			truncated++
@@ -114,10 +116,11 @@ func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Est
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
 	var mu sync.Mutex
 	truncated := 0
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := KCoverFrom(g, start, k, r, opts.MaxSteps)
+		res := eng.KCoverFrom(start, k, r.Uint64(), opts.MaxSteps)
 		if !res.Covered {
 			mu.Lock()
 			truncated++
@@ -141,11 +144,12 @@ func EstimateKCoverTimeStationary(g *graph.Graph, k int, opts MCOptions) (Estima
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
 	var mu sync.Mutex
 	truncated := 0
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
 		starts := StationaryStarts(g, k, r)
-		res := KCoverFromVertices(g, starts, r, opts.MaxSteps)
+		res := eng.KCover(starts, r.Uint64(), opts.MaxSteps)
 		if !res.Covered {
 			mu.Lock()
 			truncated++
@@ -165,16 +169,19 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: hitting time diverges on disconnected graphs")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	marked := make([]bool, g.N())
+	marked[target] = true
 	var mu sync.Mutex
 	truncated := 0
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		steps, hit := HitFrom(g, start, target, r, opts.MaxSteps)
-		if !hit {
+		res := eng.KHit([]int32{start}, marked, r.Uint64(), opts.MaxSteps)
+		if !res.Hit {
 			mu.Lock()
 			truncated++
 			mu.Unlock()
 		}
-		return float64(steps)
+		return float64(res.Rounds)
 	})
 	if err != nil {
 		return Estimate{}, err
@@ -188,8 +195,9 @@ func CoverTimeTail(g *graph.Graph, start int32, horizon int64, opts MCOptions) (
 	if horizon <= 0 {
 		return 0, fmt.Errorf("walk: horizon must be > 0")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := CoverFrom(g, start, r, horizon)
+		res := eng.KCoverFrom(start, 1, r.Uint64(), horizon)
 		if res.Covered {
 			return 0
 		}

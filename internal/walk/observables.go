@@ -55,10 +55,20 @@ func EstimatePartialCoverTime(g *graph.Graph, start int32, k int, alpha float64,
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	n := g.N()
+	target := int(alpha * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	starts := make([]int32, k)
+	for i := range starts {
+		starts[i] = start
+	}
 	var mu sync.Mutex
 	truncated := 0
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := PartialCoverFrom(g, start, k, alpha, r, opts.MaxSteps)
+		res := eng.KCoverTarget(starts, target, r.Uint64(), opts.MaxSteps)
 		if !res.Covered {
 			mu.Lock()
 			truncated++
@@ -173,9 +183,27 @@ func MeanCoverageProfile(g *graph.Graph, start int32, k int, horizon int64, opts
 	if k < 1 || horizon < 1 {
 		return nil, fmt.Errorf("walk: need k >= 1 and horizon >= 1")
 	}
+	// Each trial derives its profile from the engine's first-visit rounds:
+	// the coverage count after round t is the number of vertices whose
+	// first visit is at most t.
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	starts := make([]int32, k)
+	for i := range starts {
+		starts[i] = start
+	}
 	profiles := make([][]int, opts.Trials)
 	_, err := MonteCarlo(opts, func(trial int, r *rng.Source) float64 {
-		profiles[trial] = CoverageProfile(g, start, k, r, horizon)
+		first := eng.KFirstVisits(starts, r.Uint64(), horizon)
+		profile := make([]int, horizon+1)
+		for _, f := range first {
+			if f >= 0 {
+				profile[f]++
+			}
+		}
+		for t := int64(1); t <= horizon; t++ {
+			profile[t] += profile[t-1]
+		}
+		profiles[trial] = profile
 		return 0
 	})
 	if err != nil {

@@ -19,7 +19,10 @@ import (
 	"manywalks/internal/rng"
 )
 
-// Walker is a simple random walker on a graph.
+// Walker is a simple random walker on a graph. It is the single-walk
+// reference simulator; batch workloads (cover/hit estimation over many
+// walkers or trials) run on Engine, which advances flat walker arrays in
+// vectorized rounds instead of pointer-chasing Step calls.
 type Walker struct {
 	g   *graph.Graph
 	pos int32
@@ -101,6 +104,10 @@ func KCoverFrom(g *graph.Graph, start int32, k int, r *rng.Source, maxRounds int
 // KCoverFromVertices runs a k-walk whose walkers begin at the given
 // vertices (not necessarily distinct). This generalization supports the
 // paper's §1.1 remark about walks started from the stationary distribution.
+//
+// This is the legacy per-walker reference loop, kept as the baseline the
+// engine is validated and benchmarked against (engine_bench_test.go); the
+// estimators run on Engine.KCover, which is ≥2x faster.
 func KCoverFromVertices(g *graph.Graph, starts []int32, r *rng.Source, maxRounds int64) CoverResult {
 	if len(starts) == 0 {
 		panic("walk: k-walk requires at least one walker")

@@ -102,11 +102,45 @@ func NewCycleWithChords(p int) *Graph { return graph.CycleWithChords(p) }
 
 // Simulation API.
 
-// Walker is a simple random walker; drive it with Step.
+// Walker is a simple random walker; drive it with Step. For batch
+// workloads prefer Engine, which advances many walkers in vectorized
+// rounds.
 type Walker = walk.Walker
 
 // NewWalker places a walker on g at start.
 func NewWalker(g *Graph, start int32, r *Rand) *Walker { return walk.NewWalker(g, start, r) }
+
+// Engine is the batched k-walk engine: walker positions in flat arrays,
+// one deterministic RNG stream per walker, rounds advanced in batches with
+// the walker array sharded across a worker pool. Results are bit-for-bit
+// reproducible for a fixed (graph, starts, seed, budget) regardless of
+// EngineOptions. An Engine is immutable and safe for concurrent use;
+// construct one per graph and reuse it across runs.
+type Engine = walk.Engine
+
+// EngineOptions tunes Engine performance (Workers, BatchRounds); the zero
+// value selects sensible defaults, and no option ever affects results.
+type EngineOptions = walk.EngineOptions
+
+// CoverResult reports one cover-time run: rounds elapsed and whether the
+// stop condition was met within the budget.
+type CoverResult = walk.CoverResult
+
+// HitResult reports a marked-vertex search: the hit round, vertex, and
+// walker index.
+type HitResult = walk.HitResult
+
+// NewEngine returns a batched k-walk engine for g. It panics if g has an
+// isolated vertex.
+func NewEngine(g *Graph, opts EngineOptions) *Engine { return walk.NewEngine(g, opts) }
+
+// RunKWalk runs one synchronized k-walk from start until full cover (or
+// maxRounds) on a fresh default-options engine — the paper's C^k(G, start)
+// experiment as a one-liner. Callers running many k-walks should hold a
+// NewEngine and use its KCover/KCoverFrom/KHit/KFirstVisits methods.
+func RunKWalk(g *Graph, start int32, k int, seed uint64, maxRounds int64) CoverResult {
+	return walk.NewEngine(g, walk.EngineOptions{}).KCoverFrom(start, k, seed, maxRounds)
+}
 
 // MCOptions configures Monte Carlo estimation: Trials, Workers (0 =
 // GOMAXPROCS), root Seed, and the per-trial MaxSteps budget.

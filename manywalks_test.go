@@ -161,3 +161,38 @@ func TestPublicAPIGenerators(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicEngineAPI(t *testing.T) {
+	g := manywalks.NewMargulisExpander(8)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+
+	res := eng.KCoverFrom(0, 16, 5, 1<<20)
+	if !res.Covered || res.Steps <= 0 {
+		t.Fatalf("engine cover failed: %+v", res)
+	}
+	if one := manywalks.RunKWalk(g, 0, 16, 5, 1<<20); one != res {
+		t.Fatalf("RunKWalk %+v != engine %+v", one, res)
+	}
+
+	marked := make([]bool, g.N())
+	marked[g.N()-1] = true
+	hit := eng.KHit([]int32{0, 0}, marked, 5, 1<<20)
+	if !hit.Hit || hit.Vertex != int32(g.N()-1) {
+		t.Fatalf("engine hit failed: %+v", hit)
+	}
+
+	// The estimators run on the engine; spot-check they still agree with
+	// the exact DP on a tiny instance.
+	want, err := manywalks.ExactKCoverTime(manywalks.NewCycle(5), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := manywalks.KCoverTime(manywalks.NewCycle(5), 0, 2,
+		manywalks.MCOptions{Trials: 3000, Seed: 9, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := est.Mean() - want; diff > 4*est.CI95() || diff < -4*est.CI95() {
+		t.Fatalf("engine-backed estimate %v ± %v vs exact %v", est.Mean(), est.CI95(), want)
+	}
+}
