@@ -149,6 +149,12 @@ func BenchmarkAblationLazyWalk(b *testing.B) {
 	runReport(b, harness.RunAblationLazyWalk)
 }
 
+// BenchmarkKernelSweep regenerates the kernel-sweep experiment (E-kernels):
+// S^16 under every walk kernel on the paper's four topologies.
+func BenchmarkKernelSweep(b *testing.B) {
+	runReport(b, harness.RunKernelSpeedupSweep)
+}
+
 // Engine micro-benchmarks: raw stepping and cover throughput through the
 // public API, for performance tracking rather than paper reproduction.
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	covertime -graph torus2d -n 1024 -k 8 [-trials N] [-seed S]
+//	covertime -graph torus2d -n 1024 -k 8 [-kernel lazy:0.5] [-trials N] [-seed S]
 package main
 
 import (
@@ -19,11 +19,17 @@ func main() {
 	kind := flag.String("graph", "torus2d", "graph family (see cmd/speedup for the list)")
 	n := flag.Int("n", 256, "approximate vertex count")
 	k := flag.Int("k", 4, "number of parallel walks")
+	kernelFlag := flag.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
 	trials := flag.Int("trials", 400, "Monte Carlo trials")
 	seed := flag.Uint64("seed", 20080614, "root RNG seed")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	kernel, err := manywalks.ParseKernel(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	r := manywalks.NewRand(*seed)
 	g, start, err := buildGraph(*kind, *n, r)
 	if err != nil {
@@ -36,23 +42,25 @@ func main() {
 		Seed:     *seed,
 		MaxSteps: 100 * int64(g.N()) * int64(g.N()),
 	}
-	single, err := manywalks.CoverTime(g, start, opts)
+	single, err := manywalks.KernelCoverTime(g, kernel, start, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	multi, err := manywalks.KCoverTime(g, start, *k, opts)
+	multi, err := manywalks.KernelKCoverTime(g, kernel, start, *k, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s  n=%d m=%d start=%d\n", g.Name(), g.N(), g.M(), start)
+	fmt.Printf("%s  n=%d m=%d start=%d kernel=%s\n", g.Name(), g.N(), g.M(), start, kernel)
 	fmt.Printf("C     = %s   (truncated trials: %d)\n", single.Summary, single.Truncated)
 	fmt.Printf("C^%-3d = %s   (truncated trials: %d)\n", *k, multi.Summary, multi.Truncated)
 	fmt.Printf("S^%-3d = %.2f  (per walker %.2f)\n",
 		*k, single.Mean()/multi.Mean(), single.Mean()/multi.Mean()/float64(*k))
 
-	if g.N() <= 2048 {
+	// The exact bounds below are uniform-walk quantities; skip them when a
+	// different kernel was simulated.
+	if g.N() <= 2048 && kernel == manywalks.UniformKernel() {
 		b, err := manywalks.ComputeBounds(g, 0, r)
 		if err == nil {
 			fmt.Printf("hmax = %.4g  hmin = %.4g\n", b.Hmax, b.Hmin)

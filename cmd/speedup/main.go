@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	speedup -graph cycle -n 512 -kmax 64 [-trials N] [-seed S] [-start V]
+//	speedup -graph cycle -n 512 -kmax 64 [-kernel lazy:0.5] [-trials N] [-seed S] [-start V]
 //
 // Graphs: cycle, path, complete, torus2d, grid3d, hypercube, tree, barbell,
 // lollipop, expander, chords, er, regular. For barbell the default start is
@@ -88,12 +88,18 @@ func main() {
 	kind := flag.String("graph", "cycle", "graph family")
 	n := flag.Int("n", 256, "approximate vertex count")
 	kmax := flag.Int("kmax", 64, "largest k in the doubling sweep")
+	kernelFlag := flag.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
 	trials := flag.Int("trials", 300, "Monte Carlo trials per estimate")
 	seed := flag.Uint64("seed", 20080614, "root RNG seed")
 	startFlag := flag.Int("start", -1, "start vertex (-1 = family default)")
 	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	kernel, err := manywalks.ParseKernel(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	r := manywalks.NewRand(*seed)
 	g, start, err := buildGraph(*kind, *n, r)
 	if err != nil {
@@ -116,13 +122,13 @@ func main() {
 		Seed:     *seed,
 		MaxSteps: 100 * int64(g.N()) * int64(g.N()),
 	}
-	points, err := manywalks.SpeedupSweep(g, start, ks, opts)
+	points, err := manywalks.KernelSpeedupSweep(g, kernel, start, ks, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s  n=%d m=%d start=%d  C=%s\n",
-		g.Name(), g.N(), g.M(), start, points[0].Single.Summary)
+	fmt.Printf("%s  n=%d m=%d start=%d kernel=%s  C=%s\n",
+		g.Name(), g.N(), g.M(), start, kernel, points[0].Single.Summary)
 	fmt.Printf("%-6s %-26s %-10s %-8s\n", "k", "C^k", "S^k", "S^k/k")
 	for _, p := range points {
 		fmt.Printf("%-6d %-26s %-10.2f %-8.2f\n", p.K, p.Multi.Summary, p.Speedup, p.PerWalker)

@@ -50,6 +50,18 @@
 // KCoverTime, HittingTime, PartialCoverTime, ...) all run on the engine
 // internally, one sequential engine run per trial worker.
 //
+// The step law is pluggable: EngineOptions.Kernel selects among the
+// uniform walk (the default), the lazy walk LazyKernel(α), edge-weight-
+// proportional steps (WeightedKernel, on graphs built with
+// GraphBuilder.AddWeightedEdge or Reweight), non-backtracking steps, and
+// the Metropolis chain with uniform target. The engine compiles the kernel
+// into per-vertex sampling tables at construction; every kernel keeps the
+// bit-for-bit determinism guarantee, and the Kernel* estimators
+// (KernelCoverTime, KernelKCoverTime, KernelHittingTime, KernelSpeedup)
+// expose the same Monte Carlo machinery per kernel, cross-validated
+// against the exact chain path (NewMarkovChainForKernel,
+// ExactKernelCoverTime).
+//
 // The full experiment suite — every table, figure and theorem check — lives
 // in the cmd/ binaries (cmd/table1, cmd/barbell, cmd/experiments, ...) and
 // in the benchmarks at the repository root; ARCHITECTURE.md documents the

@@ -190,6 +190,24 @@ func DistributionQuantile(dist []float64, q float64) int {
 // MarkovChain is a finite chain over a dense row-stochastic matrix.
 type MarkovChain = markov.Chain
 
+// NewMarkovChainForKernel returns the vertex-space chain of kernel k's walk
+// on g — the exact reference for the kernel Monte Carlo estimators. The
+// no-backtrack kernel has no vertex-space chain and returns an error.
+func NewMarkovChainForKernel(g *Graph, k Kernel) (*MarkovChain, error) {
+	return markov.ChainForKernel(g, k)
+}
+
+// ExactKernelCoverTime returns the exact expected cover time of kernel k's
+// walk on g from start, for tiny graphs (n ≤ 18), via the subset DP over
+// the kernel's chain — ground truth for KernelCoverTime.
+func ExactKernelCoverTime(g *Graph, k Kernel, start int32) (float64, error) {
+	c, err := markov.ChainForKernel(g, k)
+	if err != nil {
+		return 0, err
+	}
+	return exact.CoverTimeFromChain(c, start)
+}
+
 // NewMarkovChainFromWalk returns the chain of the (lazy) walk on g.
 func NewMarkovChainFromWalk(g *Graph, stay float64) *MarkovChain {
 	return markov.FromWalk(g, stay)

@@ -164,6 +164,48 @@ func TestFacadeNBAndDistribution(t *testing.T) {
 	}
 }
 
+func TestFacadeKernels(t *testing.T) {
+	g := manywalks.Reweight(manywalks.NewTorus2D(5), func(u, v int32) float64 {
+		return 1 + float64((u+v)%3)
+	})
+	if !g.Weighted() {
+		t.Fatal("Reweight did not mark the graph weighted")
+	}
+	k, err := manywalks.ParseKernel("lazy:0.5")
+	if err != nil || k != manywalks.LazyKernel(0.5) {
+		t.Fatalf("ParseKernel: %v, %v", k, err)
+	}
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{Kernel: manywalks.WeightedKernel()})
+	if res := eng.KCoverFrom(0, 4, 1, 1<<20); !res.Covered {
+		t.Fatal("weighted engine did not cover")
+	}
+	opts := manywalks.MCOptions{Trials: 200, Seed: 3, MaxSteps: 1 << 20}
+	est, err := manywalks.KernelCoverTime(g, manywalks.MetropolisKernel(), 0, opts)
+	if err != nil || est.Truncated != 0 || est.Mean() <= 0 {
+		t.Fatalf("metropolis cover estimate %v, %v", est, err)
+	}
+	chain, err := manywalks.NewMarkovChainForKernel(g, manywalks.MetropolisKernel())
+	if err != nil || chain.N() != g.N() {
+		t.Fatalf("kernel chain: %v", err)
+	}
+	tiny := manywalks.NewCycle(5)
+	exactCover, err := manywalks.ExactKernelCoverTime(tiny, manywalks.UniformKernel(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniformCover, err := manywalks.ExactCoverTime(tiny, 0)
+	if err != nil || math.Abs(exactCover-uniformCover) > 1e-9 {
+		t.Fatalf("kernel DP %v vs uniform DP %v (%v)", exactCover, uniformCover, err)
+	}
+	p, err := manywalks.KernelSpeedup(manywalks.NewTorus2D(5), manywalks.NoBacktrackKernel(), 0, 4, opts)
+	if err != nil || p.Speedup <= 1 {
+		t.Fatalf("no-backtrack speedup point %+v, %v", p, err)
+	}
+	if len(manywalks.AllKernels()) != 5 {
+		t.Fatal("AllKernels must list the five step laws")
+	}
+}
+
 func TestFacadeMarkov(t *testing.T) {
 	g := manywalks.NewPath(5)
 	c := manywalks.NewMarkovChainFromWalk(g, 0)

@@ -48,19 +48,26 @@ func ratioBand(num, den walk.Estimate) (lo, mid, hi float64) {
 // estimates; the k-walk uses a distinct derived seed so the two estimates
 // are independent.
 func MeasureSpeedup(g *graph.Graph, start int32, k int, opts walk.MCOptions) (SpeedupPoint, error) {
-	single, err := walk.EstimateCoverTime(g, start, opts)
+	return MeasureKernelSpeedup(g, walk.Uniform(), start, k, opts)
+}
+
+// MeasureKernelSpeedup is MeasureSpeedup under an arbitrary walk kernel:
+// both C and C^k run the same step law, so S^k isolates the effect of
+// parallelism from the effect of the kernel.
+func MeasureKernelSpeedup(g *graph.Graph, kern walk.Kernel, start int32, k int, opts walk.MCOptions) (SpeedupPoint, error) {
+	single, err := walk.EstimateKernelCoverTime(g, kern, start, opts)
 	if err != nil {
 		return SpeedupPoint{}, err
 	}
-	return speedupAgainst(g, start, k, single, opts)
+	return speedupAgainst(g, kern, start, k, single, opts)
 }
 
 // speedupAgainst measures C^k and forms the ratio against a pre-computed
 // single-walk estimate (shared across a k-sweep).
-func speedupAgainst(g *graph.Graph, start int32, k int, single walk.Estimate, opts walk.MCOptions) (SpeedupPoint, error) {
+func speedupAgainst(g *graph.Graph, kern walk.Kernel, start int32, k int, single walk.Estimate, opts walk.MCOptions) (SpeedupPoint, error) {
 	kOpts := opts
 	kOpts.Seed = opts.Seed ^ 0x9e3779b97f4a7c15 ^ uint64(k)<<32
-	multi, err := walk.EstimateKCoverTime(g, start, k, kOpts)
+	multi, err := walk.EstimateKernelKCoverTime(g, kern, start, k, kOpts)
 	if err != nil {
 		return SpeedupPoint{}, err
 	}
@@ -80,6 +87,11 @@ func speedupAgainst(g *graph.Graph, start int32, k int, single walk.Estimate, op
 // SpeedupCurve measures S^k for each k in ks, re-using one single-walk
 // estimate. ks must be positive; duplicates are allowed (they re-measure).
 func SpeedupCurve(g *graph.Graph, start int32, ks []int, opts walk.MCOptions) ([]SpeedupPoint, error) {
+	return KernelSpeedupCurve(g, walk.Uniform(), start, ks, opts)
+}
+
+// KernelSpeedupCurve is SpeedupCurve under an arbitrary walk kernel.
+func KernelSpeedupCurve(g *graph.Graph, kern walk.Kernel, start int32, ks []int, opts walk.MCOptions) ([]SpeedupPoint, error) {
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("core: empty k list")
 	}
@@ -88,13 +100,13 @@ func SpeedupCurve(g *graph.Graph, start int32, ks []int, opts walk.MCOptions) ([
 			return nil, fmt.Errorf("core: invalid k=%d", k)
 		}
 	}
-	single, err := walk.EstimateCoverTime(g, start, opts)
+	single, err := walk.EstimateKernelCoverTime(g, kern, start, opts)
 	if err != nil {
 		return nil, err
 	}
 	points := make([]SpeedupPoint, 0, len(ks))
 	for _, k := range ks {
-		p, err := speedupAgainst(g, start, k, single, opts)
+		p, err := speedupAgainst(g, kern, start, k, single, opts)
 		if err != nil {
 			return nil, err
 		}

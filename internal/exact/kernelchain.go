@@ -1,0 +1,96 @@
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+
+	"manywalks/internal/linalg"
+)
+
+// This file generalizes the exact cover machinery from the uniform walk to
+// arbitrary vertex-space chains. The chain arrives through the small
+// StochasticMatrix interface — markov.Chain (and so markov.ChainForKernel's
+// output for any kernel) satisfies it structurally — which keeps this
+// package free of a markov dependency while letting every kernel's Monte
+// Carlo estimates be anchored to the exact path.
+
+// StochasticMatrix is the read-only view of a row-stochastic transition
+// matrix: P(i, j) = Pr[next = j | current = i] over N() states.
+// markov.Chain implements it.
+type StochasticMatrix interface {
+	N() int
+	P(i, j int) float64
+}
+
+// CoverTimeFromChain returns the exact expected cover time of chain c
+// started at src, by the same decreasing-popcount subset DP as
+// CoverTimeFrom:
+//
+//	E[v,S] = 1 + Σ_u P(v,u)·E[u, S∪{u}],   E[·, V] = 0.
+//
+// The chain must let the walk reach every state from every state (the
+// per-subset systems are singular otherwise). Cost is Σ_S |S|³; callers
+// must keep c.N() ≤ MaxExactCoverVertices.
+func CoverTimeFromChain(c StochasticMatrix, src int32) (float64, error) {
+	n := c.N()
+	if n > MaxExactCoverVertices {
+		return 0, fmt.Errorf("exact: cover DP limited to %d states, got %d", MaxExactCoverVertices, n)
+	}
+	if src < 0 || int(src) >= n {
+		return 0, fmt.Errorf("exact: start %d out of range", src)
+	}
+	full := uint32(1)<<uint(n) - 1
+	expect := make([]float64, (int(full)+1)*n)
+	byCount := make([][]uint32, n+1)
+	for s := uint32(1); s <= full; s++ {
+		byCount[bits.OnesCount32(s)] = append(byCount[bits.OnesCount32(s)], s)
+	}
+	for count := n - 1; count >= 1; count-- {
+		for _, s := range byCount[count] {
+			if err := solveCoverSetChain(c, s, expect); err != nil {
+				return 0, err
+			}
+		}
+	}
+	start := uint32(1) << uint(src)
+	return expect[int(start)*n+int(src)], nil
+}
+
+// solveCoverSetChain fills expect[S*n + v] for all v in S under chain c,
+// assuming all strict supersets of S are already solved.
+func solveCoverSetChain(c StochasticMatrix, s uint32, expect []float64) error {
+	n := c.N()
+	var members []int32
+	idx := make(map[int32]int)
+	for v := int32(0); v < int32(n); v++ {
+		if s&(1<<uint(v)) != 0 {
+			idx[v] = len(members)
+			members = append(members, v)
+		}
+	}
+	a := linalg.Identity(len(members))
+	b := make([]float64, len(members))
+	for i, v := range members {
+		b[i] = 1
+		for u := 0; u < n; u++ {
+			p := c.P(int(v), u)
+			if p == 0 {
+				continue
+			}
+			if s&(1<<uint(u)) != 0 {
+				a.Add(i, idx[int32(u)], -p)
+			} else {
+				sup := s | 1<<uint(u)
+				b[i] += p * expect[int(sup)*n+u]
+			}
+		}
+	}
+	x, err := linalg.SolveSystem(a, b)
+	if err != nil {
+		return fmt.Errorf("exact: chain cover DP singular for set %b (is the chain irreducible?): %w", s, err)
+	}
+	for i, v := range members {
+		expect[int(s)*n+int(v)] = x[i]
+	}
+	return nil
+}

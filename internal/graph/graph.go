@@ -14,6 +14,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -23,6 +24,11 @@ import (
 type Graph struct {
 	offsets []int32 // length n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
 	adj     []int32
+	// weights, when non-nil, is parallel to adj: weights[i] is the weight of
+	// the edge whose far endpoint is adj[i]. Weights are strictly positive
+	// and symmetric (the {u,v} slot in u's row equals the one in v's row).
+	// nil means the graph is unweighted and every edge has weight 1.
+	weights []float64
 	m       int    // number of undirected edges (self-loops count once)
 	loops   int    // number of self-loops
 	name    string // human-readable family label, e.g. "cycle(1024)"
@@ -77,6 +83,87 @@ func (g *Graph) Neighbor(v int32, i int) int32 {
 // afford a slice-header construction per step. Both slices alias internal
 // storage and must not be modified.
 func (g *Graph) CSR() (offsets, adj []int32) { return g.offsets, g.adj }
+
+// Weighted reports whether the graph carries per-edge weights. Unweighted
+// graphs behave as if every edge had weight 1.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// EdgeWeight returns the weight of v's i-th edge (1 for unweighted graphs).
+func (g *Graph) EdgeWeight(v int32, i int) float64 {
+	if g.weights == nil {
+		return 1
+	}
+	return g.weights[int(g.offsets[v])+i]
+}
+
+// WeightRow returns v's edge weights, parallel to Neighbors(v), or nil for
+// unweighted graphs. The slice aliases internal storage.
+func (g *Graph) WeightRow(v int32) []float64 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// CSRWeights exposes the raw weight array parallel to CSR()'s adjacency, or
+// nil for unweighted graphs. It aliases internal storage; hot-path consumers
+// (the weighted walk kernel compiler) must not modify it.
+func (g *Graph) CSRWeights() []float64 { return g.weights }
+
+// WeightedDegree returns the sum of v's edge weights (a self-loop's weight
+// counts once, matching its single adjacency entry). For unweighted graphs
+// this equals Degree(v).
+func (g *Graph) WeightedDegree(v int32) float64 {
+	if g.weights == nil {
+		return float64(g.Degree(v))
+	}
+	sum := 0.0
+	for _, w := range g.WeightRow(v) {
+		sum += w
+	}
+	return sum
+}
+
+// Reweight returns a weighted copy of g with identical topology, where the
+// undirected edge {u,v} (u <= v) gets weight f(u, v). f must return a
+// strictly positive, finite weight; Reweight panics otherwise. The copy
+// shares g's offsets and adjacency storage and keeps its name.
+func Reweight(g *Graph, f func(u, v int32) float64) *Graph {
+	ng := &Graph{
+		offsets: g.offsets,
+		adj:     g.adj,
+		weights: make([]float64, len(g.adj)),
+		m:       g.m,
+		loops:   g.loops,
+		name:    g.name,
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		off := int(g.offsets[v])
+		for i, u := range g.Neighbors(v) {
+			a, b := v, u
+			if a > b {
+				a, b = b, a
+			}
+			w := f(a, b)
+			if !(w > 0) || math.IsInf(w, 1) {
+				panic(fmt.Sprintf("graph: Reweight produced non-positive or non-finite weight %v for edge (%d,%d)", w, a, b))
+			}
+			ng.weights[off+i] = w
+		}
+	}
+	return ng
+}
+
+// Unweighted returns g with its weights dropped (the simple-graph view of a
+// weighted graph); for unweighted graphs it returns g itself.
+func (g *Graph) Unweighted() *Graph {
+	if g.weights == nil {
+		return g
+	}
+	ng := *g
+	ng.weights = nil
+	return &ng
+}
 
 // HasEdge reports whether {u,v} is an edge (or a self-loop when u == v).
 func (g *Graph) HasEdge(u, v int32) bool {
@@ -154,15 +241,52 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: adj length %d != expected %d for m=%d loops=%d",
 			len(g.adj), wantAdj, g.m, g.loops)
 	}
+	if g.weights != nil {
+		if len(g.weights) != len(g.adj) {
+			return fmt.Errorf("graph: weights length %d != adj length %d", len(g.weights), len(g.adj))
+		}
+		for v := int32(0); v < n; v++ {
+			nb := g.Neighbors(v)
+			for i, u := range nb {
+				w := g.EdgeWeight(v, i)
+				if !(w > 0) || math.IsInf(w, 1) || math.IsNaN(w) {
+					return fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", v, u, w)
+				}
+				if u == v {
+					continue
+				}
+				if back := g.edgeWeightTo(u, v); back != w {
+					return fmt.Errorf("graph: asymmetric weight on {%d,%d}: %v vs %v", v, u, w, back)
+				}
+			}
+		}
+	}
 	return nil
 }
 
+// edgeWeightTo returns the weight stored in u's row for neighbor v, or NaN
+// when {u,v} is not an edge.
+func (g *Graph) edgeWeightTo(u, v int32) float64 {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if i >= len(nb) || nb[i] != v {
+		return math.NaN()
+	}
+	return g.EdgeWeight(u, i)
+}
+
 // Builder accumulates undirected edges and produces a Graph. Duplicate edges
-// are coalesced; AddEdge(u,u) records a self-loop. The zero Builder is not
-// usable; call NewBuilder with the vertex count.
+// are coalesced (weights of duplicates sum); AddEdge(u,u) records a
+// self-loop. The zero Builder is not usable; call NewBuilder with the vertex
+// count.
 type Builder struct {
 	n     int
 	edges [][2]int32
+	// wts stays nil until the first AddWeightedEdge, at which point it is
+	// backfilled with 1s for the edges already recorded; plain AddEdge on a
+	// purely unweighted builder therefore pays nothing for the weight lane.
+	wts      []float64
+	weighted bool
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -173,8 +297,29 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
-// AddEdge records the undirected edge {u,v}. Endpoints must be in [0,n).
-func (b *Builder) AddEdge(u, v int32) {
+// AddEdge records the undirected edge {u,v} with weight 1. Endpoints must be
+// in [0,n).
+func (b *Builder) AddEdge(u, v int32) { b.addEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u,v} with the given weight,
+// which must be strictly positive and finite. Mixing AddEdge and
+// AddWeightedEdge is allowed; plain edges carry weight 1. The built graph is
+// weighted as soon as one weighted edge was added.
+func (b *Builder) AddWeightedEdge(u, v int32, w float64) {
+	if !(w > 0) || math.IsInf(w, 1) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) weight %v must be positive and finite", u, v, w))
+	}
+	if !b.weighted {
+		b.weighted = true
+		b.wts = make([]float64, len(b.edges), max(cap(b.edges), len(b.edges)+1))
+		for i := range b.wts {
+			b.wts[i] = 1
+		}
+	}
+	b.addEdge(u, v, w)
+}
+
+func (b *Builder) addEdge(u, v int32, w float64) {
 	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
 	}
@@ -182,25 +327,59 @@ func (b *Builder) AddEdge(u, v int32) {
 		u, v = v, u
 	}
 	b.edges = append(b.edges, [2]int32{u, v})
+	if b.weighted {
+		b.wts = append(b.wts, w)
+	}
 }
 
 // EdgeCount returns the number of recorded (possibly duplicate) edges.
 func (b *Builder) EdgeCount() int { return len(b.edges) }
 
-// Build produces the immutable Graph, deduplicating edges.
+// Build produces the immutable Graph, deduplicating edges. Duplicate edges'
+// weights are summed, so a multigraph's parallel edges collapse into one
+// heavier edge.
 func (b *Builder) Build(name string) *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	var uniq [][2]int32
+	var uw []float64 // parallel to uniq; built only for weighted graphs
+	if b.weighted {
+		// Weighted edges sort through an index permutation so the weight
+		// lane follows, then dedup by summing.
+		order := make([]int, len(b.edges))
+		for i := range order {
+			order[i] = i
 		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	uniq := b.edges[:0]
-	var last [2]int32 = [2]int32{-1, -1}
-	for _, e := range b.edges {
-		if e != last {
+		sort.Slice(order, func(i, j int) bool {
+			ei, ej := b.edges[order[i]], b.edges[order[j]]
+			if ei[0] != ej[0] {
+				return ei[0] < ej[0]
+			}
+			return ei[1] < ej[1]
+		})
+		last := [2]int32{-1, -1}
+		for _, i := range order {
+			e := b.edges[i]
+			if e == last {
+				uw[len(uw)-1] += b.wts[i]
+				continue
+			}
 			uniq = append(uniq, e)
+			uw = append(uw, b.wts[i])
 			last = e
+		}
+	} else {
+		sort.Slice(b.edges, func(i, j int) bool {
+			if b.edges[i][0] != b.edges[j][0] {
+				return b.edges[i][0] < b.edges[j][0]
+			}
+			return b.edges[i][1] < b.edges[j][1]
+		})
+		uniq = b.edges[:0]
+		last := [2]int32{-1, -1}
+		for _, e := range b.edges {
+			if e != last {
+				uniq = append(uniq, e)
+				last = e
+			}
 		}
 	}
 	deg := make([]int32, b.n)
@@ -224,21 +403,57 @@ func (b *Builder) Build(name string) *Graph {
 		g.offsets[v+1] = g.offsets[v] + deg[v]
 	}
 	g.adj = make([]int32, g.offsets[b.n])
+	var wts []float64
+	if b.weighted {
+		wts = make([]float64, len(g.adj))
+	}
 	cursor := make([]int32, b.n)
 	copy(cursor, g.offsets[:b.n])
-	for _, e := range uniq {
-		g.adj[cursor[e[0]]] = e[1]
-		cursor[e[0]]++
+	place := func(v int32, u int32, w float64) {
+		g.adj[cursor[v]] = u
+		if wts != nil {
+			wts[cursor[v]] = w
+		}
+		cursor[v]++
+	}
+	for i, e := range uniq {
+		w := 1.0
+		if b.weighted {
+			w = uw[i]
+		}
+		place(e[0], e[1], w)
 		if e[0] != e[1] {
-			g.adj[cursor[e[1]]] = e[0]
-			cursor[e[1]]++
+			place(e[1], e[0], w)
 		}
 	}
+	// uniq is globally sorted by (lo, hi), so each row's first-endpoint
+	// entries arrive sorted; second-endpoint entries also arrive sorted but
+	// interleave with them, so sort each row (carrying weights along).
 	for v := int32(0); v < int32(b.n); v++ {
-		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		nb := g.adj[lo:hi]
+		if wts == nil {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+			continue
+		}
+		row := wts[lo:hi]
+		sort.Sort(&adjRowSorter{nb: nb, w: row})
 	}
+	g.weights = wts
 	return g
+}
+
+// adjRowSorter sorts one adjacency row and its weight row in lockstep.
+type adjRowSorter struct {
+	nb []int32
+	w  []float64
+}
+
+func (s *adjRowSorter) Len() int           { return len(s.nb) }
+func (s *adjRowSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
+func (s *adjRowSorter) Swap(i, j int) {
+	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
 }
 
 // fromAdjacency builds a Graph directly from per-vertex adjacency lists that

@@ -208,7 +208,7 @@ func TestEdgeListRejectsCorrupt(t *testing.T) {
 		"3 2\n0 1\n",         // edge count mismatch
 		"3 1\nx y\n",         // non-numeric
 		"-1 0\n",             // negative n
-		"2 1\n0 1 2\n",       // bad arity
+		"2 1\n0 1 2 9\n",     // bad arity (a third field is a weight)
 		"# name x\n2 1\n0\n", // short edge line
 	}
 	for _, c := range cases {

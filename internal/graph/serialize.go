@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -15,19 +16,28 @@ import (
 //	<n> <m>
 //	<u> <v>      (one line per undirected edge, u <= v, sorted)
 //
-// The format round-trips through ReadEdgeList and is diff-friendly for
-// storing experiment inputs.
+// Weighted graphs append the weight as a third column, <u> <v> <w>, printed
+// with enough digits that weights round-trip exactly through ReadEdgeList.
+// The graph name round-trips through the header comment; both properties
+// are pinned by TestWeightedEdgeListRoundTrip.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# name %s\n%d %d\n", g.Name(), g.N(), g.M()); err != nil {
 		return err
 	}
 	for v := int32(0); v < int32(g.N()); v++ {
-		for _, u := range g.Neighbors(v) {
-			if u >= v { // each undirected edge once; self-loop has u == v
-				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
-					return err
-				}
+		for i, u := range g.Neighbors(v) {
+			if u < v { // each undirected edge once; self-loop has u == v
+				continue
+			}
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %.17g\n", v, u, g.EdgeWeight(v, i))
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}
@@ -73,7 +83,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			header = true
 			continue
 		}
-		if len(fields) != 2 {
+		if len(fields) != 2 && len(fields) != 3 {
 			return nil, fmt.Errorf("graph: bad edge line %q", line)
 		}
 		u, err := strconv.Atoi(fields[0])
@@ -87,7 +97,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if u < 0 || v < 0 || u >= n || v >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", u, v)
 		}
-		b.AddEdge(int32(u), int32(v))
+		if len(fields) == 3 {
+			wt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad edge weight %q: %w", fields[2], err)
+			}
+			if !(wt > 0) || math.IsInf(wt, 1) {
+				return nil, fmt.Errorf("graph: edge (%d,%d) weight %v must be positive and finite", u, v, wt)
+			}
+			b.AddWeightedEdge(int32(u), int32(v), wt)
+		} else {
+			b.AddEdge(int32(u), int32(v))
+		}
 		edges++
 	}
 	if err := sc.Err(); err != nil {
@@ -105,14 +126,31 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 // binaryMagic guards the binary format against foreign input.
 const binaryMagic = uint32(0x6d77616c) // "mwal"
 
-// WriteBinary writes a compact little-endian binary encoding: magic, name,
-// offsets and adjacency. It is the fast path for checkpointing large random
-// graph instances between experiment stages.
+// binaryVersion is the current binary layout revision. Version 2 added the
+// version/flags words and the optional weight section; version-1 payloads
+// (which had neither) are no longer produced and are rejected on read. No
+// version-1 files are checked in anywhere, so the break is safe.
+const binaryVersion = uint32(2)
+
+// binaryFlagWeighted marks a payload that carries a float64 weight array
+// parallel to the adjacency array.
+const binaryFlagWeighted = uint32(1)
+
+// WriteBinary writes a compact little-endian binary encoding: magic,
+// version, flags, name, offsets, adjacency, and (for weighted graphs) the
+// weight array. It is the fast path for checkpointing large random graph
+// instances between experiment stages; name and weights round-trip exactly.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
-	if err := binary.Write(bw, le, binaryMagic); err != nil {
-		return err
+	flags := uint32(0)
+	if g.Weighted() {
+		flags |= binaryFlagWeighted
+	}
+	for _, word := range []uint32{binaryMagic, binaryVersion, flags} {
+		if err := binary.Write(bw, le, word); err != nil {
+			return err
+		}
 	}
 	nameBytes := []byte(g.Name())
 	if err := binary.Write(bw, le, uint32(len(nameBytes))); err != nil {
@@ -130,6 +168,11 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	if err := binary.Write(bw, le, g.adj); err != nil {
 		return err
 	}
+	if g.Weighted() {
+		if err := binary.Write(bw, le, g.weights); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -137,12 +180,24 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
-	var magic uint32
+	var magic, version, flags uint32
 	if err := binary.Read(br, le, &magic); err != nil {
 		return nil, err
 	}
 	if magic != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d (want %d)", version, binaryVersion)
+	}
+	if err := binary.Read(br, le, &flags); err != nil {
+		return nil, err
+	}
+	if flags&^binaryFlagWeighted != 0 {
+		return nil, fmt.Errorf("graph: unknown binary flags %#x", flags)
 	}
 	var nameLen uint32
 	if err := binary.Read(br, le, &nameLen); err != nil {
@@ -176,6 +231,12 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	g.adj = make([]int32, total)
 	if err := binary.Read(br, le, &g.adj); err != nil {
 		return nil, err
+	}
+	if flags&binaryFlagWeighted != 0 {
+		g.weights = make([]float64, total)
+		if err := binary.Read(br, le, &g.weights); err != nil {
+			return nil, err
+		}
 	}
 	for v := int32(0); v < int32(n); v++ {
 		for _, u := range g.Neighbors(v) {

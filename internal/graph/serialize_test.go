@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// weightedTestGraph builds a small weighted graph with irregular degrees,
+// a self-loop, and non-integral weights.
+func weightedTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.125)
+	b.AddWeightedEdge(2, 3, 7)
+	b.AddWeightedEdge(3, 4, 1e-3)
+	b.AddWeightedEdge(4, 0, 3)
+	b.AddWeightedEdge(2, 2, 0.75) // self-loop
+	b.AddEdge(0, 2)               // plain edge: weight 1
+	g := b.Build("wtest(5)")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	return g
+}
+
+// sameGraph compares topology, name, and weights of two graphs.
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() || got.SelfLoops() != want.SelfLoops() {
+		t.Fatalf("shape mismatch: got (%d,%d,%d) want (%d,%d,%d)",
+			got.N(), got.M(), got.SelfLoops(), want.N(), want.M(), want.SelfLoops())
+	}
+	if got.Name() != want.Name() {
+		t.Fatalf("name %q does not round-trip, got %q", want.Name(), got.Name())
+	}
+	if got.Weighted() != want.Weighted() {
+		t.Fatalf("weighted flag: got %v want %v", got.Weighted(), want.Weighted())
+	}
+	for v := int32(0); v < int32(want.N()); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("degree of %d: got %d want %d", v, len(gn), len(wn))
+		}
+		for i := range wn {
+			if gn[i] != wn[i] {
+				t.Fatalf("neighbor %d of %d: got %d want %d", i, v, gn[i], wn[i])
+			}
+			if got.EdgeWeight(v, i) != want.EdgeWeight(v, i) {
+				t.Fatalf("weight %d of %d: got %v want %v",
+					i, v, got.EdgeWeight(v, i), want.EdgeWeight(v, i))
+			}
+		}
+	}
+}
+
+func TestWeightedEdgeListRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Cycle(9), weightedTestGraph(t)} {
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, got, g)
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWeightedBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{MargulisExpander(4), weightedTestGraph(t)} {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, got, g)
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadEdgeListRejectsBadWeights(t *testing.T) {
+	for _, body := range []string{
+		"2 1\n0 1 0\n",    // zero weight
+		"2 1\n0 1 -2\n",   // negative weight
+		"2 1\n0 1 +Inf\n", // infinite weight
+		"2 1\n0 1 NaN\n",  // NaN weight
+		"2 1\n0 1 x\n",    // unparseable weight
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(body)); err == nil {
+			t.Fatalf("edge list %q should be rejected", body)
+		}
+	}
+}
+
+func TestReadBinaryRejectsOldVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Cycle(4).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 1 // patch the version word down to the retired layout
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("version-1 payload should be rejected")
+	}
+}
+
+func TestReweight(t *testing.T) {
+	g := Torus2D(4)
+	wg := Reweight(g, func(u, v int32) float64 { return float64(u+v) + 1 })
+	if err := wg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() || wg.Name() != g.Name() || wg.N() != g.N() || wg.M() != g.M() {
+		t.Fatal("Reweight changed the topology or name")
+	}
+	if g.Weighted() {
+		t.Fatal("Reweight mutated the source graph")
+	}
+	// Spot-check symmetry through the public accessors.
+	for v := int32(0); v < int32(wg.N()); v++ {
+		for i, u := range wg.Neighbors(v) {
+			a, b := v, u
+			if a > b {
+				a, b = b, a
+			}
+			if want := float64(a+b) + 1; wg.EdgeWeight(v, i) != want {
+				t.Fatalf("weight of {%d,%d} = %v, want %v", v, u, wg.EdgeWeight(v, i), want)
+			}
+		}
+	}
+	if uw := wg.Unweighted(); uw.Weighted() || uw.N() != g.N() {
+		t.Fatal("Unweighted view broken")
+	}
+}
+
+func TestBuilderWeightCoalescing(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 1.5)
+	b.AddWeightedEdge(1, 0, 2.5) // duplicate in the other orientation: sums
+	b.AddEdge(1, 2)
+	g := b.Build("dup")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d, want 2", g.M())
+	}
+	if w := g.EdgeWeight(0, 0); w != 4 {
+		t.Fatalf("coalesced weight %v, want 4", w)
+	}
+	if wd := g.WeightedDegree(1); wd != 5 {
+		t.Fatalf("weighted degree of 1 = %v, want 5", wd)
+	}
+}

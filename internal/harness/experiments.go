@@ -687,6 +687,7 @@ func AllExperiments(cfg Config) ([]*Report, error) {
 		RunAblationLazyWalk,
 		RunChurnRobustness,
 		RunAblationNonBacktracking,
+		RunKernelSpeedupSweep,
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, run := range runners {

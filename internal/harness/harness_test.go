@@ -230,8 +230,8 @@ func TestAllExperimentsProduceDistinctIDs(t *testing.T) {
 			t.Fatalf("experiment %s produced no rows", r.ID)
 		}
 	}
-	if len(reports) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(reports))
+	if len(reports) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(reports))
 	}
 }
 

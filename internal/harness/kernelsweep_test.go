@@ -1,0 +1,14 @@
+package harness
+
+import "testing"
+
+func TestKernelSweepQuickSmoke(t *testing.T) {
+	rep, err := RunKernelSpeedupSweep(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Render())
+	if !rep.Pass {
+		t.Fatal("kernel sweep failed")
+	}
+}

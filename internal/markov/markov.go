@@ -12,6 +12,7 @@ import (
 
 	"manywalks/internal/graph"
 	"manywalks/internal/linalg"
+	"manywalks/internal/walk"
 )
 
 // Chain is a finite Markov chain with a dense row-stochastic transition
@@ -44,6 +45,43 @@ func New(p *linalg.Matrix) (*Chain, error) {
 // FromWalk returns the chain of the (lazy) simple random walk on g.
 func FromWalk(g *graph.Graph, stay float64) *Chain {
 	return &Chain{p: linalg.NewWalkOperator(g, stay).Dense()}
+}
+
+// ChainForKernel returns the vertex-space Markov chain of walk kernel k on
+// g, built from the same Kernel.TransitionProbs law the engine compiles, so
+// every kernel's Monte Carlo estimates can be cross-validated against the
+// exact absorbing-chain machinery. The no-backtrack kernel has no
+// vertex-space chain (its state is the directed edge) and returns an error.
+// For Uniform and Lazy the result agrees with FromWalk(g, stay) up to the
+// row order of floating-point accumulation; markov_test pins that.
+func ChainForKernel(g *graph.Graph, k walk.Kernel) (*Chain, error) {
+	n := g.N()
+	p := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		outs, probs, err := k.TransitionProbs(g, int32(v))
+		if err != nil {
+			return nil, fmt.Errorf("markov: kernel %s: %w", k, err)
+		}
+		for i, u := range outs {
+			p.Add(v, int(u), probs[i])
+		}
+	}
+	return New(p)
+}
+
+// KernelHittingTimeVia computes the expected hitting time h(u, v) of kernel
+// k's walk on g through the absorbing-chain machinery — the exact reference
+// the kernel Monte Carlo estimators are validated against.
+func KernelHittingTimeVia(g *graph.Graph, k walk.Kernel, u, v int32) (float64, error) {
+	c, err := ChainForKernel(g, k)
+	if err != nil {
+		return 0, err
+	}
+	abs, err := NewAbsorbing(c, []int{int(v)})
+	if err != nil {
+		return 0, err
+	}
+	return abs.ExpectedSteps()[u], nil
 }
 
 // N returns the number of states.

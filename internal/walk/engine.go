@@ -52,8 +52,10 @@ import (
 // BatchRounds. Walkers overshooting the stop round inside a batch are
 // simply discarded with the rest of the batch.
 
-// EngineOptions tunes the batched k-walk engine. The zero value selects
-// sensible defaults; no option affects results, only performance.
+// EngineOptions tunes the batched k-walk engine. Except for Kernel, the
+// zero value selects sensible defaults and no option affects results, only
+// performance. Kernel selects the step law (and so the simulated process);
+// its zero value is the paper's uniform walk.
 type EngineOptions struct {
 	// Workers caps the goroutines stepping walker shards concurrently.
 	// 0 or negative selects runtime.NumCPU(). A run never uses more than
@@ -62,12 +64,19 @@ type EngineOptions struct {
 	// BatchRounds is the number of rounds advanced between merge barriers,
 	// rounded up to a whole number of draw groups (the rounds one 64-bit
 	// draw funds — 2 in CSR mode, 64/s for a padded table of stride 2^s,
-	// so up to 64). 0 or negative selects the default: 64 for sharded
+	// so up to 64; non-uniform kernels draw fresh every round, so their
+	// group is 1). 0 or negative selects the default: 64 for sharded
 	// runs, 16 for single-worker runs, whose merges are cheap and whose
 	// overshoot past the stop round is pure waste. Larger batches
 	// amortize the barrier but overshoot further; results are unaffected
 	// either way.
 	BatchRounds int
+	// Kernel is the step law the engine compiles (see kernel.go). The
+	// zero value is Uniform(). Every kernel keeps the engine's
+	// determinism guarantee: for a fixed (graph, kernel, starts, seed,
+	// budget), results are bit-for-bit identical regardless of Workers
+	// and BatchRounds.
+	Kernel Kernel
 }
 
 const (
@@ -103,6 +112,8 @@ type Engine struct {
 	batch    int       // rounds per barrier for sharded (multi-worker) runs
 	seqBatch int       // rounds per merge for single-worker runs (overshoot is pure waste there)
 	pool     sync.Pool // *runState, reused across runs to cut allocation churn
+	kernel   Kernel
+	prog     kernelProgram // compiled step law: alias tables, lazy threshold, prev-lane flag
 }
 
 const (
@@ -111,8 +122,9 @@ const (
 )
 
 // NewEngine returns an engine for g. It panics if any vertex is isolated
-// (a walker there would have no move), mirroring Walker's constructor
-// contract of rejecting impossible starts up front.
+// (a walker there would have no move) or if opts.Kernel is invalid,
+// mirroring Walker's constructor contract of rejecting impossible
+// configurations up front.
 func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	offsets, adj := g.CSR()
 	n := g.N()
@@ -136,29 +148,43 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 		// past the stop round, so it prefers short batches.
 		batch, seqBatch = defaultBatchRounds, defaultSeqBatchRounds
 	}
-	e := &Engine{g: g, adj: adj, vtx: vtx, workers: workers}
-	e.group = 2
-	_, maxDeg := g.DegreeStats()
-	shift := uint32(bits.Len(uint(maxDeg - 1)))
-	if shift == 0 {
-		shift = 1 // a stride-1 table still banks one (unused) bit per round
+	prog, err := compileKernel(g, opts.Kernel)
+	if err != nil {
+		panic(err.Error())
 	}
-	if stride := 1 << shift; n<<shift <= maxPadEntries {
-		pad := make([]int32, n<<shift)
-		for v := 0; v < n; v++ {
-			nb := adj[offsets[v]:offsets[v+1]]
-			deg := len(nb)
-			filled := (stride / deg) * deg
-			row := pad[v<<shift : (v+1)<<shift]
-			for s := 0; s < filled; s++ {
-				row[s] = nb[s%deg]
+	e := &Engine{g: g, adj: adj, vtx: vtx, workers: workers, kernel: opts.Kernel, prog: prog}
+	// Non-uniform kernels draw fresh entropy every round (group 1), so
+	// only Uniform banks reservoir bits, and only Uniform and Lazy sample
+	// through the padded table.
+	e.group = 1
+	if wantsPadTable(prog.kind) {
+		if prog.kind == KernelUniform {
+			e.group = 2
+		}
+		_, maxDeg := g.DegreeStats()
+		shift := uint32(bits.Len(uint(maxDeg - 1)))
+		if shift == 0 {
+			shift = 1 // a stride-1 table still banks one (unused) bit per round
+		}
+		if stride := 1 << shift; n<<shift <= maxPadEntries {
+			pad := make([]int32, n<<shift)
+			for v := 0; v < n; v++ {
+				nb := adj[offsets[v]:offsets[v+1]]
+				deg := len(nb)
+				filled := (stride / deg) * deg
+				row := pad[v<<shift : (v+1)<<shift]
+				for s := 0; s < filled; s++ {
+					row[s] = nb[s%deg]
+				}
+				for s := filled; s < stride; s++ {
+					row[s] = padSentinel
+				}
 			}
-			for s := filled; s < stride; s++ {
-				row[s] = padSentinel
+			e.pad, e.padShift = pad, shift
+			if prog.kind == KernelUniform {
+				e.group = 64 / int(shift)
 			}
 		}
-		e.pad, e.padShift = pad, shift
-		e.group = 64 / int(shift)
 	}
 	// Batches must span whole groups so the reservoir never crosses a
 	// barrier.
@@ -167,8 +193,17 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	return e
 }
 
+// wantsPadTable reports whether a kernel samples uniform neighbors through
+// the padded table; the alias-table and prev-lane kernels never touch it.
+func wantsPadTable(k KernelKind) bool {
+	return k == KernelUniform || k == KernelLazy
+}
+
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Kernel returns the step law the engine was compiled for.
+func (e *Engine) Kernel() Kernel { return e.kernel }
 
 // HitResult reports a marked-vertex search (KHit).
 type HitResult struct {
@@ -231,6 +266,7 @@ type runState struct {
 	k       int
 	batch   int
 	pos     []int32      // current vertex per walker
+	prev    []int32      // previous vertex per walker (-1 first), for prev-lane kernels
 	streams []rng.Source // one independent stream per walker
 	res     []uint64     // per-walker bit reservoir banking the rest of a group's draw
 	seen    []uint8      // merged (global) visited set, one byte per vertex (byte
@@ -264,6 +300,15 @@ func (e *Engine) newRun(starts []int32, seed uint64, workers int) *runState {
 		st.res = make([]uint64, k)
 	}
 	st.pos, st.streams, st.res = st.pos[:k], st.streams[:k], st.res[:k]
+	if e.prog.needPrev {
+		if cap(st.prev) < k {
+			st.prev = make([]int32, k)
+		}
+		st.prev = st.prev[:k]
+		for i := range st.prev {
+			st.prev[i] = -1
+		}
+	}
 	if cap(st.seen) < n {
 		st.seen = make([]uint8, n)
 	}
@@ -418,9 +463,27 @@ func (e *Engine) stepRoundConsumeCSR(st *runState, lo, hi int) {
 	}
 }
 
-// stepRound dispatches one round's step pass; rounds (m*g, (m+1)*g] form
-// group m and the group's first round draws.
+// stepRound dispatches one round's step pass. The Uniform kernel keeps the
+// original reservoir discipline: rounds (m*g, (m+1)*g] form group m and the
+// group's first round draws. Non-uniform kernels dispatch to their compiled
+// step function (kernelstep.go); the switch costs one predictable branch
+// per round per shard, which is noise next to the per-walker stepping work.
 func (e *Engine) stepRound(st *runState, lo, hi int, t int64) {
+	switch e.prog.kind {
+	case KernelLazy:
+		if e.pad != nil {
+			e.stepRoundLazyPad(st, lo, hi)
+		} else {
+			e.stepRoundLazyCSR(st, lo, hi)
+		}
+		return
+	case KernelWeighted, KernelMetropolisUniform:
+		e.stepRoundAlias(st, lo, hi)
+		return
+	case KernelNoBacktrack:
+		e.stepRoundNoBacktrack(st, lo, hi)
+		return
+	}
 	draw := (t-1)%int64(e.group) == 0
 	if e.pad != nil {
 		if draw {

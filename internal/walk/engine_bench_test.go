@@ -78,6 +78,64 @@ func BenchmarkKCoverEngineSeq(b *testing.B) {
 	}
 }
 
+// hitBenchSetup builds the marked-vertex search workload shared by the
+// KHit benchmarks: 64 walkers at vertex 0 of the Table-1 expander hunting
+// a sparse marked set.
+func hitBenchSetup() (*graph.Graph, []int32, []bool) {
+	g := graph.MargulisExpander(24)
+	marked := make([]bool, g.N())
+	for v := 50; v < g.N(); v += 97 {
+		marked[v] = true
+	}
+	return g, make([]int32, benchK), marked
+}
+
+// BenchmarkKHitLegacy / BenchmarkKHitEngine give the hit path the same
+// engine-vs-legacy performance coverage the cover path has had since PR 1:
+// one full k=64 marked-vertex search per op.
+func BenchmarkKHitLegacy(b *testing.B) {
+	g, starts, marked := hitBenchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !KHitFromVertices(g, starts, marked, rng.NewStream(42, uint64(i)), 1<<20).Hit {
+			b.Fatal("no hit")
+		}
+	}
+}
+
+func BenchmarkKHitEngine(b *testing.B) {
+	g, starts, marked := hitBenchSetup()
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.KHit(starts, marked, uint64(i), 1<<20).Hit {
+			b.Fatal("no hit")
+		}
+	}
+}
+
+// BenchmarkKCoverKernels tracks the per-kernel cost of the compiled step
+// laws on the k=64 expander cover workload; the uniform row is the
+// regression guard for the dispatch refactor (acceptance: within 10% of
+// the pre-kernel engine).
+func BenchmarkKCoverKernels(b *testing.B) {
+	g := graph.Reweight(graph.MargulisExpander(24), func(u, v int32) float64 {
+		return 1 + float64((u*7+v*13)%5)
+	})
+	for _, kern := range Kernels() {
+		b.Run(kern.String(), func(b *testing.B) {
+			eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: kern})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := eng.KCoverFrom(0, benchK, uint64(i), 1<<40)
+				if !res.Covered {
+					b.Fatal("not covered")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKWalkThroughput measures raw stepping throughput with a fixed
 // round budget on a graph too large to cover within it, so legacy and
 // engine execute exactly the same number of walker-steps: 64 walkers x

@@ -142,7 +142,11 @@ func TestEngineMatchesWalkerReplay(t *testing.T) {
 }
 
 func TestEngineDeterministicAcrossConfigs(t *testing.T) {
-	g := graph.MargulisExpander(16)
+	// Weighted wants actual weights; every kernel must hold the
+	// determinism guarantee on the same (weighted) graph.
+	g := graph.Reweight(graph.MargulisExpander(16), func(u, v int32) float64 {
+		return 1 + float64((u*7+v*13)%5)
+	})
 	n := g.N()
 	starts := make([]int32, 80)
 	for i := range starts {
@@ -151,32 +155,35 @@ func TestEngineDeterministicAcrossConfigs(t *testing.T) {
 	marked := make([]bool, n)
 	marked[n-1] = true
 
-	base := NewEngine(g, EngineOptions{Workers: 1, BatchRounds: 2})
-	wantCover := base.KCover(starts, 7, 1<<20)
-	wantFirst := base.KFirstVisits(starts, 7, 500)
-	wantHit := base.KHit(starts, marked, 7, 1<<20)
-	if !wantCover.Covered || !wantHit.Hit {
-		t.Fatal("baseline did not finish")
-	}
-	for _, opts := range []EngineOptions{
-		{Workers: 1, BatchRounds: 64},
-		{Workers: 2, BatchRounds: 16},
-		{Workers: 5, BatchRounds: 2},
-		{Workers: 8, BatchRounds: 1000},
-		{},
-	} {
-		eng := NewEngine(g, opts)
-		if got := eng.KCover(starts, 7, 1<<20); got != wantCover {
-			t.Fatalf("opts %+v: KCover %+v != %+v", opts, got, wantCover)
+	for _, kern := range Kernels() {
+		base := NewEngine(g, EngineOptions{Workers: 1, BatchRounds: 2, Kernel: kern})
+		wantCover := base.KCover(starts, 7, 1<<20)
+		wantFirst := base.KFirstVisits(starts, 7, 500)
+		wantHit := base.KHit(starts, marked, 7, 1<<20)
+		if !wantCover.Covered || !wantHit.Hit {
+			t.Fatalf("%s: baseline did not finish", kern)
 		}
-		got := eng.KFirstVisits(starts, 7, 500)
-		for v := range wantFirst {
-			if got[v] != wantFirst[v] {
-				t.Fatalf("opts %+v: first[%d] = %d != %d", opts, v, got[v], wantFirst[v])
+		for _, opts := range []EngineOptions{
+			{Workers: 1, BatchRounds: 64},
+			{Workers: 2, BatchRounds: 16},
+			{Workers: 5, BatchRounds: 2},
+			{Workers: 8, BatchRounds: 1000},
+			{},
+		} {
+			opts.Kernel = kern
+			eng := NewEngine(g, opts)
+			if got := eng.KCover(starts, 7, 1<<20); got != wantCover {
+				t.Fatalf("%s opts %+v: KCover %+v != %+v", kern, opts, got, wantCover)
 			}
-		}
-		if got := eng.KHit(starts, marked, 7, 1<<20); got != wantHit {
-			t.Fatalf("opts %+v: KHit %+v != %+v", opts, got, wantHit)
+			got := eng.KFirstVisits(starts, 7, 500)
+			for v := range wantFirst {
+				if got[v] != wantFirst[v] {
+					t.Fatalf("%s opts %+v: first[%d] = %d != %d", kern, opts, v, got[v], wantFirst[v])
+				}
+			}
+			if got := eng.KHit(starts, marked, 7, 1<<20); got != wantHit {
+				t.Fatalf("%s opts %+v: KHit %+v != %+v", kern, opts, got, wantHit)
+			}
 		}
 	}
 }

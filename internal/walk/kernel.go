@@ -1,0 +1,355 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"manywalks/internal/graph"
+)
+
+// This file defines the WalkKernel abstraction: a Kernel names one of the
+// supported per-step transition laws, and the engine compiles it against a
+// fixed graph into specialized per-vertex sampling tables (see compile at
+// the bottom and the step kernels in engine.go).
+//
+// The five kernels and their transition laws from vertex v (degree d, edge
+// weights w_i, N(v) the adjacency list):
+//
+//	Uniform            next ~ Uniform(N(v)) — the paper's simple walk.
+//	Lazy(α)            stay at v with probability α, else Uniform(N(v));
+//	                   the standard theoretical normalization (α = 1/2
+//	                   removes periodicity) and the law markov.FromWalk
+//	                   analyzes.
+//	Weighted           next = i-th neighbor with probability w_i / Σw —
+//	                   biased walks on weighted graphs; on an unweighted
+//	                   graph this coincides with Uniform.
+//	NoBacktrack        Uniform(N(v) \ {previous vertex}); degree-1 vertices
+//	                   fall back to backtracking and the first step is
+//	                   Uniform(N(v)). Not a Markov chain on vertices (its
+//	                   state is the directed edge), so it has no
+//	                   markov.ChainForKernel image.
+//	MetropolisUniform  Metropolis–Hastings with uniform target: propose
+//	                   u ~ Uniform(N(v)), accept with min(1, d_v/d_u), else
+//	                   stay. Its stationary distribution is uniform over
+//	                   vertices regardless of the degree sequence.
+type Kernel struct {
+	Kind KernelKind
+	// Alpha is the stay probability of the Lazy kernel, in [0,1); other
+	// kinds ignore it.
+	Alpha float64
+}
+
+// KernelKind enumerates the supported step laws. The zero value is
+// KernelUniform, so a zero EngineOptions still selects the paper's walk.
+type KernelKind uint8
+
+const (
+	KernelUniform KernelKind = iota
+	KernelLazy
+	KernelWeighted
+	KernelNoBacktrack
+	KernelMetropolisUniform
+)
+
+// Uniform returns the simple-random-walk kernel (the default).
+func Uniform() Kernel { return Kernel{Kind: KernelUniform} }
+
+// Lazy returns the lazy walk kernel with stay probability alpha in [0,1).
+func Lazy(alpha float64) Kernel { return Kernel{Kind: KernelLazy, Alpha: alpha} }
+
+// Weighted returns the edge-weight-proportional kernel.
+func Weighted() Kernel { return Kernel{Kind: KernelWeighted} }
+
+// NoBacktrack returns the non-backtracking kernel.
+func NoBacktrack() Kernel { return Kernel{Kind: KernelNoBacktrack} }
+
+// MetropolisUniform returns the Metropolis kernel targeting the uniform
+// distribution.
+func MetropolisUniform() Kernel { return Kernel{Kind: KernelMetropolisUniform} }
+
+// String renders the kernel in the form ParseKernel accepts.
+func (k Kernel) String() string {
+	switch k.Kind {
+	case KernelUniform:
+		return "uniform"
+	case KernelLazy:
+		return fmt.Sprintf("lazy:%g", k.Alpha)
+	case KernelWeighted:
+		return "weighted"
+	case KernelNoBacktrack:
+		return "nobacktrack"
+	case KernelMetropolisUniform:
+		return "metropolis"
+	}
+	return fmt.Sprintf("kernel(%d)", k.Kind)
+}
+
+// Validate checks the kernel parameters against a graph.
+func (k Kernel) Validate(g *graph.Graph) error {
+	switch k.Kind {
+	case KernelUniform, KernelWeighted, KernelNoBacktrack, KernelMetropolisUniform:
+	case KernelLazy:
+		if k.Alpha < 0 || k.Alpha >= 1 || math.IsNaN(k.Alpha) {
+			return fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", k.Alpha)
+		}
+	default:
+		return fmt.Errorf("walk: unknown kernel kind %d", k.Kind)
+	}
+	return nil
+}
+
+// ParseKernel parses the -kernel flag syntax: "uniform", "lazy" (α = 1/2),
+// "lazy:α", "weighted", "nobacktrack", "metropolis".
+func ParseKernel(s string) (Kernel, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
+	switch name {
+	case "uniform", "simple", "":
+		return Uniform(), nil
+	case "lazy":
+		alpha := 0.5
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return Kernel{}, fmt.Errorf("walk: bad lazy parameter %q: %w", arg, err)
+			}
+			alpha = v
+		}
+		if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+			return Kernel{}, fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", alpha)
+		}
+		return Lazy(alpha), nil
+	case "weighted":
+		return Weighted(), nil
+	case "nobacktrack", "nb":
+		return NoBacktrack(), nil
+	case "metropolis", "metropolis-uniform", "mh":
+		return MetropolisUniform(), nil
+	}
+	return Kernel{}, fmt.Errorf("walk: unknown kernel %q (want uniform, lazy[:α], weighted, nobacktrack, metropolis)", s)
+}
+
+// Kernels lists one representative of every kernel kind, for sweeps and
+// parameterized tests.
+func Kernels() []Kernel {
+	return []Kernel{Uniform(), Lazy(0.5), Weighted(), NoBacktrack(), MetropolisUniform()}
+}
+
+// TransitionProbs returns kernel k's transition distribution out of v as
+// parallel (vertices, probabilities) slices; a possible stay-at-v outcome is
+// included explicitly. It is the reference the alias-table compiler, the
+// legacy loops, and markov.ChainForKernel all share, so the three layers
+// cannot drift apart. NoBacktrack has no vertex-state distribution and
+// returns an error.
+func (k Kernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+	if err := k.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	nb := g.Neighbors(v)
+	d := len(nb)
+	if d == 0 {
+		return nil, nil, fmt.Errorf("walk: vertex %d is isolated", v)
+	}
+	switch k.Kind {
+	case KernelUniform:
+		p := make([]float64, d)
+		for i := range p {
+			p[i] = 1 / float64(d)
+		}
+		return nb, p, nil
+	case KernelLazy:
+		out := make([]int32, 0, d+1)
+		p := make([]float64, 0, d+1)
+		move := (1 - k.Alpha) / float64(d)
+		for _, u := range nb {
+			out = append(out, u)
+			p = append(p, move)
+		}
+		if k.Alpha > 0 {
+			out = append(out, v)
+			p = append(p, k.Alpha)
+		}
+		return out, p, nil
+	case KernelWeighted:
+		total := g.WeightedDegree(v)
+		p := make([]float64, d)
+		for i := range p {
+			p[i] = g.EdgeWeight(v, i) / total
+		}
+		return nb, p, nil
+	case KernelMetropolisUniform:
+		out := make([]int32, 0, d+1)
+		p := make([]float64, 0, d+1)
+		propose := 1 / float64(d)
+		stay := 0.0
+		for _, u := range nb {
+			if u == v { // self-loop proposal: trivially accepted
+				stay += propose
+				continue
+			}
+			du := float64(g.Degree(u))
+			acc := 1.0
+			if du > float64(d) {
+				acc = float64(d) / du
+			}
+			out = append(out, u)
+			p = append(p, propose*acc)
+			stay += propose * (1 - acc)
+		}
+		if stay > 1e-15 {
+			out = append(out, v)
+			p = append(p, stay)
+		}
+		return out, p, nil
+	case KernelNoBacktrack:
+		return nil, nil, fmt.Errorf("walk: the no-backtrack kernel is not a Markov chain on vertices (its state is the directed edge)")
+	}
+	return nil, nil, fmt.Errorf("walk: unknown kernel kind %d", k.Kind)
+}
+
+// aliasTable is a compiled per-vertex alias sampler: vertex v owns columns
+// [off, off+count) where meta[v] packs off<<32 | count (mirroring the
+// engine's vtx metadata). Sampling consumes one 64-bit draw: the low 32
+// bits pick a column by Lemire reduction to [0, count), and the high 32
+// bits decide between the column's two outcomes — out if high32 < thresh,
+// alt otherwise. Column probabilities are therefore quantized to multiples
+// of 2^-32 of the column mass; the resulting per-vertex distribution error
+// is below 2^-32, far under Monte Carlo resolution, and the quantization is
+// deterministic so results stay bit-for-bit reproducible.
+type aliasTable struct {
+	meta   []uint64 // off<<32 | count, per vertex
+	out    []int32
+	alt    []int32
+	thresh []uint32
+}
+
+// buildAliasTable compiles kernel k's transition law on g into an alias
+// table via Vose's algorithm, run per vertex with index-ordered worklists so
+// compilation is deterministic.
+func buildAliasTable(g *graph.Graph, k Kernel) (*aliasTable, error) {
+	n := g.N()
+	at := &aliasTable{meta: make([]uint64, n)}
+	for v := 0; v < n; v++ {
+		outs, probs, err := k.TransitionProbs(g, int32(v))
+		if err != nil {
+			return nil, err
+		}
+		off := len(at.out)
+		cols := len(outs)
+		at.meta[v] = uint64(uint32(off))<<32 | uint64(uint32(cols))
+		colOut, colAlt, colThresh := voseColumns(outs, probs)
+		at.out = append(at.out, colOut...)
+		at.alt = append(at.alt, colAlt...)
+		at.thresh = append(at.thresh, colThresh...)
+	}
+	return at, nil
+}
+
+// voseColumns runs Vose's alias construction for one vertex: K = len(outs)
+// columns, each holding a primary outcome, an alias outcome, and the 32-bit
+// acceptance threshold for the primary.
+func voseColumns(outs []int32, probs []float64) (out, alt []int32, thresh []uint32) {
+	k := len(outs)
+	out = make([]int32, k)
+	alt = make([]int32, k)
+	thresh = make([]uint32, k)
+	scaled := make([]float64, k)
+	var small, large []int
+	for i, p := range probs {
+		scaled[i] = p * float64(k)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for i := range out {
+		out[i] = outs[i]
+		alt[i] = outs[i]
+		thresh[i] = math.MaxUint32
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		l := large[len(large)-1]
+		small = small[:len(small)-1]
+		out[s] = outs[s]
+		alt[s] = outs[l]
+		thresh[s] = quantize32(scaled[s])
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftover columns (numerical residue) keep probability 1 of their own
+	// outcome: out == alt, threshold saturated.
+	return out, alt, thresh
+}
+
+// quantize32 maps a probability in [0,1] to the 32-bit acceptance threshold
+// used by the alias sampler. Probabilities within rounding distance of 1
+// saturate (Round(p·2³²) can reach 2³², which would wrap uint32 to 0).
+func quantize32(p float64) uint32 {
+	if p <= 0 {
+		return 0
+	}
+	t := math.Round(math.Ldexp(p, 32))
+	if t >= math.Ldexp(1, 32) {
+		return math.MaxUint32
+	}
+	return uint32(t)
+}
+
+// kernelProgram is the engine's compiled form of a kernel: exactly one of
+// the sampling strategies below is active, chosen by kind.
+type kernelProgram struct {
+	kind KernelKind
+	// stayThresh is the Lazy kernel's stay decision: stay iff a fresh
+	// 64-bit draw is < stayThresh. Quantizing α to a multiple of 2^-64
+	// loses less than float64 resolution.
+	stayThresh uint64
+	// at is the alias table for Weighted and MetropolisUniform.
+	at *aliasTable
+	// needPrev marks kernels whose state includes the previous vertex.
+	needPrev bool
+}
+
+// compileKernel builds the engine's program for kernel k on g. The Uniform
+// kernel returns a trivial program; its sampling uses the engine's padded /
+// CSR fast path unchanged.
+func compileKernel(g *graph.Graph, k Kernel) (kernelProgram, error) {
+	if err := k.Validate(g); err != nil {
+		return kernelProgram{}, err
+	}
+	prog := kernelProgram{kind: k.Kind}
+	switch k.Kind {
+	case KernelUniform:
+	case KernelLazy:
+		prog.stayThresh = stayThreshold(k.Alpha)
+	case KernelWeighted, KernelMetropolisUniform:
+		at, err := buildAliasTable(g, k)
+		if err != nil {
+			return kernelProgram{}, err
+		}
+		prog.at = at
+	case KernelNoBacktrack:
+		prog.needPrev = true
+	}
+	return prog, nil
+}
+
+// stayThreshold converts a stay probability to the 64-bit comparison
+// threshold used by the lazy step kernel.
+func stayThreshold(alpha float64) uint64 {
+	if alpha <= 0 {
+		return 0
+	}
+	// alpha < 1 is enforced by Validate; Ldexp(alpha, 64) < 2^64 can still
+	// round up to 2^64 for alpha within 2^-54 of 1, so clamp.
+	t := math.Ldexp(alpha, 64)
+	if t >= math.Ldexp(1, 64) {
+		return math.MaxUint64
+	}
+	return uint64(t)
+}

@@ -118,9 +118,50 @@ func NewWalker(g *Graph, start int32, r *Rand) *Walker { return walk.NewWalker(g
 // construct one per graph and reuse it across runs.
 type Engine = walk.Engine
 
-// EngineOptions tunes Engine performance (Workers, BatchRounds); the zero
-// value selects sensible defaults, and no option ever affects results.
+// EngineOptions tunes Engine performance (Workers, BatchRounds) and
+// selects the step law (Kernel); the zero value selects sensible defaults
+// and the uniform kernel. Workers and BatchRounds never affect results.
 type EngineOptions = walk.EngineOptions
+
+// Kernel selects a walk step law; the engine compiles it into per-vertex
+// sampling tables. The zero value is the paper's uniform walk. Every
+// kernel keeps the engine's bit-for-bit determinism guarantee across
+// Workers/BatchRounds.
+type Kernel = walk.Kernel
+
+// UniformKernel is the simple random walk (the paper's model and the
+// default).
+func UniformKernel() Kernel { return walk.Uniform() }
+
+// LazyKernel stays put with probability alpha each round — the standard
+// theoretical normalization (alpha = 1/2 removes periodicity).
+func LazyKernel(alpha float64) Kernel { return walk.Lazy(alpha) }
+
+// WeightedKernel steps to a neighbor with probability proportional to the
+// edge weight; on unweighted graphs it coincides with the uniform walk.
+func WeightedKernel() Kernel { return walk.Weighted() }
+
+// NoBacktrackKernel never immediately reverses an edge (degree-1 dead ends
+// excepted) — the "smarter token" variant that is ballistic on the cycle.
+func NoBacktrackKernel() Kernel { return walk.NoBacktrack() }
+
+// MetropolisKernel is the Metropolis–Hastings chain with uniform target
+// distribution: its stationary law is uniform regardless of the degree
+// sequence, the natural choice for unbiased sampling workloads.
+func MetropolisKernel() Kernel { return walk.MetropolisUniform() }
+
+// ParseKernel parses the -kernel flag syntax: "uniform", "lazy[:α]",
+// "weighted", "nobacktrack", "metropolis".
+func ParseKernel(s string) (Kernel, error) { return walk.ParseKernel(s) }
+
+// AllKernels lists one representative of every kernel kind.
+func AllKernels() []Kernel { return walk.Kernels() }
+
+// Reweight returns a weighted copy of g with identical topology where edge
+// {u,v} (u <= v) gets weight f(u, v); f must return positive finite
+// weights. Use GraphBuilder.AddWeightedEdge to build weighted graphs from
+// scratch.
+func Reweight(g *Graph, f func(u, v int32) float64) *Graph { return graph.Reweight(g, f) }
 
 // CoverResult reports one cover-time run: rounds elapsed and whether the
 // stop condition was met within the budget.
@@ -171,6 +212,25 @@ func HittingTime(g *Graph, start, target int32, opts MCOptions) (Estimate, error
 	return walk.EstimateHittingTime(g, start, target, opts)
 }
 
+// KernelCoverTime estimates the expected single-walk cover time from start
+// under kernel k.
+func KernelCoverTime(g *Graph, k Kernel, start int32, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKernelCoverTime(g, k, start, opts)
+}
+
+// KernelKCoverTime estimates the expected k-walk cover time (in rounds)
+// from a common start vertex under kernel kern.
+func KernelKCoverTime(g *Graph, kern Kernel, start int32, k int, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKernelKCoverTime(g, kern, start, k, opts)
+}
+
+// KernelHittingTime estimates h(start, target) under kernel k; compare
+// against NewMarkovChainForKernel's absorbing-chain expectation for an
+// exact cross-check.
+func KernelHittingTime(g *Graph, k Kernel, start, target int32, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKernelHittingTime(g, k, start, target, opts)
+}
+
 // SpeedupPoint is one measured (k, S^k) with provenance and CI band.
 type SpeedupPoint = core.SpeedupPoint
 
@@ -182,6 +242,17 @@ func Speedup(g *Graph, start int32, k int, opts MCOptions) (SpeedupPoint, error)
 // SpeedupSweep measures S^k for each k, sharing one single-walk estimate.
 func SpeedupSweep(g *Graph, start int32, ks []int, opts MCOptions) ([]SpeedupPoint, error) {
 	return core.SpeedupCurve(g, start, ks, opts)
+}
+
+// KernelSpeedup measures S^k(G) with both the single walk and the k-walk
+// running kernel kern, isolating the parallelism gain from the step law.
+func KernelSpeedup(g *Graph, kern Kernel, start int32, k int, opts MCOptions) (SpeedupPoint, error) {
+	return core.MeasureKernelSpeedup(g, kern, start, k, opts)
+}
+
+// KernelSpeedupSweep is SpeedupSweep under an arbitrary walk kernel.
+func KernelSpeedupSweep(g *Graph, kern Kernel, start int32, ks []int, opts MCOptions) ([]SpeedupPoint, error) {
+	return core.KernelSpeedupCurve(g, kern, start, ks, opts)
 }
 
 // Regime labels a speed-up curve's asymptotic shape.
