@@ -8,33 +8,50 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"manywalks"
 )
 
-func main() {
-	kind := flag.String("graph", "torus2d", "graph family (see cmd/speedup for the list)")
-	n := flag.Int("n", 256, "approximate vertex count")
-	k := flag.Int("k", 4, "number of parallel walks")
-	kernelFlag := flag.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
-	trials := flag.Int("trials", 400, "Monte Carlo trials")
-	seed := flag.Uint64("seed", 20080614, "root RNG seed")
-	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-	flag.Parse()
+// errUsage marks bad invocations (flags, graph/kernel spellings), which
+// exit 2; estimation failures exit 1, preserving the pre-refactor exit
+// code contract.
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
+
+// run executes the command against args, writing the report to out; main
+// is a thin exit-code shim so tests can drive the whole flag-to-report
+// path in process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("covertime", flag.ContinueOnError)
+	fs.SetOutput(out)
+	kind := fs.String("graph", "torus2d", "graph family (see cmd/speedup for the list)")
+	n := fs.Int("n", 256, "approximate vertex count")
+	k := fs.Int("k", 4, "number of parallel walks")
+	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	trials := fs.Int("trials", 400, "Monte Carlo trials")
+	seed := fs.Uint64("seed", 20080614, "root RNG seed")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
 
 	kernel, err := manywalks.ParseKernel(*kernelFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usage(err)
 	}
 	r := manywalks.NewRand(*seed)
 	g, start, err := buildGraph(*kind, *n, r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usage(err)
 	}
 	opts := manywalks.MCOptions{
 		Trials:   *trials,
@@ -44,18 +61,16 @@ func main() {
 	}
 	single, err := manywalks.KernelCoverTime(g, kernel, start, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	multi, err := manywalks.KernelKCoverTime(g, kernel, start, *k, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%s  n=%d m=%d start=%d kernel=%s\n", g.Name(), g.N(), g.M(), start, kernel)
-	fmt.Printf("C     = %s   (truncated trials: %d)\n", single.Summary, single.Truncated)
-	fmt.Printf("C^%-3d = %s   (truncated trials: %d)\n", *k, multi.Summary, multi.Truncated)
-	fmt.Printf("S^%-3d = %.2f  (per walker %.2f)\n",
+	fmt.Fprintf(out, "%s  n=%d m=%d start=%d kernel=%s\n", g.Name(), g.N(), g.M(), start, kernel)
+	fmt.Fprintf(out, "C     = %s   (truncated trials: %d)\n", single.Summary, single.Truncated)
+	fmt.Fprintf(out, "C^%-3d = %s   (truncated trials: %d)\n", *k, multi.Summary, multi.Truncated)
+	fmt.Fprintf(out, "S^%-3d = %.2f  (per walker %.2f)\n",
 		*k, single.Mean()/multi.Mean(), single.Mean()/multi.Mean()/float64(*k))
 
 	// The exact bounds below are uniform-walk quantities; skip them when a
@@ -63,10 +78,21 @@ func main() {
 	if g.N() <= 2048 && kernel == manywalks.UniformKernel() {
 		b, err := manywalks.ComputeBounds(g, 0, r)
 		if err == nil {
-			fmt.Printf("hmax = %.4g  hmin = %.4g\n", b.Hmax, b.Hmin)
-			fmt.Printf("Matthews sandwich: [%.4g, %.4g]\n", b.MatthewsLower, b.MatthewsUpper)
-			fmt.Printf("Baby Matthews (Thm 13) bound at k=%d: %.4g\n", *k, b.BabyMatthewsBound(*k))
-			fmt.Printf("gap g(n) = C/hmax ≈ %.2f\n", b.GapOf(single.Mean()))
+			fmt.Fprintf(out, "hmax = %.4g  hmin = %.4g\n", b.Hmax, b.Hmin)
+			fmt.Fprintf(out, "Matthews sandwich: [%.4g, %.4g]\n", b.MatthewsLower, b.MatthewsUpper)
+			fmt.Fprintf(out, "Baby Matthews (Thm 13) bound at k=%d: %.4g\n", *k, b.BabyMatthewsBound(*k))
+			fmt.Fprintf(out, "gap g(n) = C/hmax ≈ %.2f\n", b.GapOf(single.Mean()))
 		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 }

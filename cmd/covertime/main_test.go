@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTinyGraph drives the whole flag-to-report path on a tiny graph.
+func TestRunTinyGraph(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-graph", "cycle", "-n", "16", "-k", "2", "-trials", "8", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"cycle(16)", "C     =", "C^2", "S^2", "Matthews sandwich"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFlagAndInputErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-graph") {
+		t.Fatalf("-h must print usage and succeed, got %v", err)
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-graph", "klein-bottle"}, &out); err == nil || !strings.Contains(err.Error(), "unknown graph") {
+		t.Fatalf("bad graph kind: %v", err)
+	}
+	if err := run([]string{"-kernel", "teleport"}, &out); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("bad kernel: %v", err)
+	}
+}

@@ -4,24 +4,45 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-trials N] [-seed S]
+//	experiments [-quick] [-trials N] [-seed S] [-only substr]
+//
+// -only restricts the run to experiments whose ID contains the given
+// substring (case-insensitive), e.g. -only E-collab or -only thm; Table 1
+// runs only when -only is empty or matches "T1".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"manywalks/internal/harness"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "use small graph sizes")
-	trials := flag.Int("trials", 0, "Monte Carlo trials per estimate (0 = default)")
-	seed := flag.Uint64("seed", 0, "root RNG seed (0 = default)")
-	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-	flag.Parse()
+// errSuiteFailed distinguishes bound/shape failures (exit 1) from usage
+// errors (exit 2).
+var errSuiteFailed = fmt.Errorf("experiment suite failed")
+
+// run executes the suite against args, writing reports to out; main is a
+// thin exit-code shim so tests can drive the flag-to-report path in
+// process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	quick := fs.Bool("quick", false, "use small graph sizes")
+	trials := fs.Int("trials", 0, "Monte Carlo trials per estimate (0 = default)")
+	seed := fs.Uint64("seed", 0, "root RNG seed (0 = default)")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	only := fs.String("only", "", "run only experiments whose ID contains this substring")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
 
 	cfg := harness.DefaultConfig()
 	if *quick {
@@ -35,31 +56,55 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	match := func(id string) bool {
+		return *only == "" || strings.Contains(strings.ToLower(id), strings.ToLower(*only))
+	}
+	var selected []harness.Experiment
+	for _, ex := range harness.Experiments() {
+		if match(ex.ID) {
+			selected = append(selected, ex)
+		}
+	}
+	runTable1 := match("T1")
+	if !runTable1 && len(selected) == 0 {
+		return fmt.Errorf("no experiment ID matches -only %q", *only)
+	}
+
 	start := time.Now()
 	allPass := true
 
-	t1, _, err := harness.RunTable1(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "table1:", err)
-		os.Exit(1)
+	if runTable1 {
+		t1, _, err := harness.RunTable1(cfg)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		fmt.Fprintln(out, t1.Render())
+		allPass = allPass && t1.Pass
 	}
-	fmt.Println(t1.Render())
-	allPass = allPass && t1.Pass
 
-	reports, err := harness.AllExperiments(cfg)
+	reports, err := harness.RunExperiments(cfg, selected)
 	for _, rep := range reports {
-		fmt.Println(rep.Render())
+		fmt.Fprintln(out, rep.Render())
 		allPass = allPass && rep.Pass
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fmt.Errorf("experiments: %w", err)
 	}
-	fmt.Printf("suite finished in %.1fs — overall: ", time.Since(start).Seconds())
+	fmt.Fprintf(out, "suite finished in %.1fs — overall: ", time.Since(start).Seconds())
 	if allPass {
-		fmt.Println("PASS")
-		return
+		fmt.Fprintln(out, "PASS")
+		return nil
 	}
-	fmt.Println("FAIL")
-	os.Exit(1)
+	fmt.Fprintln(out, "FAIL")
+	return errSuiteFailed
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if err == errSuiteFailed {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunOnlyCollab runs exactly one experiment (the cheapest) end to end
+// through the real flag path.
+func TestRunOnlyCollab(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-quick", "-trials", "20", "-only", "E-collab"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"E-collab", "E[meet]", "overall: PASS"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "T1:") {
+		t.Fatalf("-only E-collab must skip Table 1:\n%s", got)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-only") {
+		t.Fatalf("-h must print usage and succeed, got %v", err)
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-only", "definitely-no-such-id"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no experiment ID matches") {
+		t.Fatalf("unmatched -only: %v", err)
+	}
+}

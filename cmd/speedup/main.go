@@ -13,13 +13,22 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"manywalks"
 )
+
+// errUsage marks bad invocations (flags, graph/kernel spellings), which
+// exit 2; estimation failures exit 1, preserving the pre-refactor exit
+// code contract.
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
 
 func buildGraph(kind string, n int, r *manywalks.Rand) (*manywalks.Graph, int32, error) {
 	switch kind {
@@ -84,27 +93,35 @@ func isPrime(p int) bool {
 	return true
 }
 
-func main() {
-	kind := flag.String("graph", "cycle", "graph family")
-	n := flag.Int("n", 256, "approximate vertex count")
-	kmax := flag.Int("kmax", 64, "largest k in the doubling sweep")
-	kernelFlag := flag.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
-	trials := flag.Int("trials", 300, "Monte Carlo trials per estimate")
-	seed := flag.Uint64("seed", 20080614, "root RNG seed")
-	startFlag := flag.Int("start", -1, "start vertex (-1 = family default)")
-	workers := flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-	flag.Parse()
+// run executes the command against args, writing the sweep to out; main is
+// a thin exit-code shim so tests can drive the whole flag-to-report path
+// in process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	fs.SetOutput(out)
+	kind := fs.String("graph", "cycle", "graph family")
+	n := fs.Int("n", 256, "approximate vertex count")
+	kmax := fs.Int("kmax", 64, "largest k in the doubling sweep")
+	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	trials := fs.Int("trials", 300, "Monte Carlo trials per estimate")
+	seed := fs.Uint64("seed", 20080614, "root RNG seed")
+	startFlag := fs.Int("start", -1, "start vertex (-1 = family default)")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
 
 	kernel, err := manywalks.ParseKernel(*kernelFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usage(err)
 	}
 	r := manywalks.NewRand(*seed)
 	g, start, err := buildGraph(*kind, *n, r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usage(err)
 	}
 	if *startFlag >= 0 {
 		start = int32(*startFlag)
@@ -124,20 +141,29 @@ func main() {
 	}
 	points, err := manywalks.KernelSpeedupSweep(g, kernel, start, ks, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%s  n=%d m=%d start=%d kernel=%s  C=%s\n",
+	fmt.Fprintf(out, "%s  n=%d m=%d start=%d kernel=%s  C=%s\n",
 		g.Name(), g.N(), g.M(), start, kernel, points[0].Single.Summary)
-	fmt.Printf("%-6s %-26s %-10s %-8s\n", "k", "C^k", "S^k", "S^k/k")
+	fmt.Fprintf(out, "%-6s %-26s %-10s %-8s\n", "k", "C^k", "S^k", "S^k/k")
 	for _, p := range points {
-		fmt.Printf("%-6d %-26s %-10.2f %-8.2f\n", p.K, p.Multi.Summary, p.Speedup, p.PerWalker)
+		fmt.Fprintf(out, "%-6d %-26s %-10.2f %-8.2f\n", p.K, p.Multi.Summary, p.Speedup, p.PerWalker)
 	}
 	cls, err := manywalks.ClassifySpeedups(points)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "regime: %s (power slope %.2f, log-fit R² %.3f)\n",
+		cls.Regime, cls.PowerSlope, cls.LogFit.R2)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("regime: %s (power slope %.2f, log-fit R² %.3f)\n",
-		cls.Regime, cls.PowerSlope, cls.LogFit.R2)
 }

@@ -50,6 +50,21 @@
 // KCoverTime, HittingTime, PartialCoverTime, ...) all run on the engine
 // internally, one sequential engine run per trial worker.
 //
+// The engine has one run core and pluggable lenses: Engine.Run executes a
+// RunSpec (starts, seed, round budget, stop condition) against a set of
+// Observers — cover bitset (NewCoverObserver), partial-cover thresholds
+// (NewPartialCoverObserver), first-visit log (NewFirstVisitObserver),
+// target-set hit (NewHitObserver, NewTargetSetObserver), and pairwise
+// meeting/pursuit/coalescence detection (NewMeetingObserver,
+// NewPursuitObserver, NewCoalescenceObserver). Observers see the walk
+// through shard-private scan hooks and exact round-ordered merges at the
+// batch barriers, so every observable inherits the determinism guarantee;
+// stop conditions (StopWhenAll, StopWhenAny, RunToHorizon) combine
+// observers into one run. KCover, KHit, KHitTargets, PartialCoverCurve,
+// KMeetingTime and KCoalescenceTime are thin wrappers over this core, and
+// the estimators KMeetingTime/KCoalescenceTime/PartialCoverRounds give the
+// Monte Carlo view.
+//
 // The step law is pluggable: EngineOptions.Kernel selects among the
 // uniform walk (the default), the lazy walk LazyKernel(α), edge-weight-
 // proportional steps (WeightedKernel, on graphs built with

@@ -130,3 +130,51 @@ func ExampleEngine_KHit() {
 	fmt.Printf("hit=%v vertex=%d\n", res.Hit, res.Vertex)
 	// Output: hit=true vertex=27
 }
+
+// Run is the engine's generic core: one synchronized k-walk observed by
+// pluggable observers under a stop condition. Here a single run is watched
+// for both full coverage and the walkers' first meeting, halting as soon
+// as either happens.
+func ExampleEngine_Run() {
+	g := manywalks.NewTorus2D(8)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	cover, meet := manywalks.NewCoverObserver(), manywalks.NewMeetingObserver()
+	res, err := eng.Run(manywalks.RunSpec{
+		Starts:    []int32{0, 27, 45},
+		Seed:      4,
+		MaxRounds: 1 << 20,
+		Stop:      manywalks.StopWhenAny(),
+	}, cover, meet)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stopped=%v metFirst=%v\n", res.Stopped, meet.MeetRound() == res.Rounds)
+	// Output: stopped=true metFirst=true
+}
+
+// PartialCoverCurve reads the whole partial-cover curve off a single run:
+// the exact round each coverage fraction was reached.
+func ExampleEngine_PartialCoverCurve() {
+	g := manywalks.NewCycle(32)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	res, err := eng.PartialCoverCurve([]int32{0, 16}, []float64{0.5, 1}, 11, 1<<20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("complete=%v halfBeforeFull=%v\n", res.Complete, res.Rounds[0] < res.Rounds[1])
+	// Output: complete=true halfBeforeFull=true
+}
+
+// KMeetingTime is the hunters-and-prey rendezvous primitive: the exact
+// round two of the walkers first share a vertex.
+func ExampleEngine_KMeetingTime() {
+	g := manywalks.NewComplete(16, false)
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	res, err := eng.KMeetingTime([]int32{0, 5, 10}, 3, 1<<20)
+	if err != nil {
+		panic(err)
+	}
+	again, _ := eng.KMeetingTime([]int32{0, 5, 10}, 3, 1<<20)
+	fmt.Printf("met=%v reproducible=%v\n", res.Met, res == again)
+	// Output: met=true reproducible=true
+}

@@ -28,26 +28,25 @@ const (
 	maxRounds = 1 << 20
 )
 
-// huntOnce returns rounds until some hunter lands on (or crosses) the prey.
-// Everyone moves simultaneously; capture is checked after each round.
-func huntOnce(g *manywalks.Graph, base, preyStart int32, k int, r *manywalks.Rand) int {
-	hunters := make([]*manywalks.Walker, k)
-	for i := range hunters {
-		hunters[i] = manywalks.NewWalker(g, base, r)
+// huntOnce returns rounds until some hunter occupies the prey's cell.
+// Everyone moves simultaneously; capture is checked after each round. The
+// pursuit is one engine run: walker 0 is the prey, walkers 1..k are the
+// hunters, and a pursuit observer fires on the first collision involving
+// the prey — hunters crossing each other don't end the hunt.
+func huntOnce(eng *manywalks.Engine, base, preyStart int32, k int, seed uint64) int {
+	starts := make([]int32, k+1)
+	starts[0] = preyStart
+	for i := 1; i <= k; i++ {
+		starts[i] = base
 	}
-	prey := manywalks.NewWalker(g, preyStart, r)
-	if base == preyStart {
-		return 0
+	res, err := eng.Run(
+		manywalks.RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds},
+		manywalks.NewPursuitObserver(0),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for t := 1; t <= maxRounds; t++ {
-		p := prey.Step()
-		for _, h := range hunters {
-			if h.Step() == p {
-				return t
-			}
-		}
-	}
-	return maxRounds
+	return int(res.Rounds)
 }
 
 func main() {
@@ -61,13 +60,13 @@ func main() {
 
 	opts := manywalks.MCOptions{Trials: 300, Seed: 99, MaxSteps: 1 << 24}
 
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
 	fmt.Printf("%-4s %-18s %-14s %-18s\n", "k", "capture (rounds)", "capture gain", "k-cover (rounds)")
 	var baseCapture float64
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		total := 0
 		for h := 0; h < hunts; h++ {
-			r := manywalks.NewRandStream(4242, uint64(k)<<32|uint64(h))
-			total += huntOnce(g, base, preyStart, k, r)
+			total += huntOnce(eng, base, preyStart, k, uint64(k)<<32|uint64(h))
 		}
 		capture := float64(total) / hunts
 		if k == 1 {

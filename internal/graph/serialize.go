@@ -10,6 +10,42 @@ import (
 	"strings"
 )
 
+// maxSerializedVertices bounds the vertex count both deserializers accept,
+// so a few-byte header cannot demand a multi-gigabyte allocation.
+const maxSerializedVertices = 1 << 28
+
+// encodeName renders a graph name for the edge-list header. Names that
+// would corrupt the line format — control characters, leading/trailing
+// whitespace, or a leading quote — are written Go-quoted; plain names stay
+// raw for back-compatibility. decodeName reverses the choice. The escaping
+// was shaken out by FuzzSerializeRoundTrip (a name containing a newline
+// used to split the header line).
+func encodeName(name string) string {
+	if name == "" {
+		return name
+	}
+	plain := !strings.HasPrefix(name, `"`) && strings.TrimSpace(name) == name
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return name
+	}
+	return strconv.Quote(name)
+}
+
+func decodeName(s string) string {
+	if strings.HasPrefix(s, `"`) {
+		if name, err := strconv.Unquote(s); err == nil {
+			return name
+		}
+	}
+	return s
+}
+
 // WriteEdgeList writes the graph in a plain text format:
 //
 //	# name <label>
@@ -18,11 +54,12 @@ import (
 //
 // Weighted graphs append the weight as a third column, <u> <v> <w>, printed
 // with enough digits that weights round-trip exactly through ReadEdgeList.
-// The graph name round-trips through the header comment; both properties
-// are pinned by TestWeightedEdgeListRoundTrip.
+// The graph name round-trips through the header comment (quoted when it
+// contains characters the line format cannot carry raw); both properties
+// are pinned by TestWeightedEdgeListRoundTrip and FuzzSerializeRoundTrip.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# name %s\n%d %d\n", g.Name(), g.N(), g.M()); err != nil {
+	if _, err := fmt.Fprintf(bw, "# name %s\n%d %d\n", encodeName(g.Name()), g.N(), g.M()); err != nil {
 		return err
 	}
 	for v := int32(0); v < int32(g.N()); v++ {
@@ -60,7 +97,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if strings.HasPrefix(line, "#") {
 			if rest, ok := strings.CutPrefix(line, "# name "); ok {
-				name = rest
+				name = decodeName(rest)
 			}
 			continue
 		}
@@ -78,6 +115,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			}
 			if n < 0 || m < 0 {
 				return nil, fmt.Errorf("graph: negative sizes in header %q", line)
+			}
+			if n > maxSerializedVertices {
+				return nil, fmt.Errorf("graph: unreasonable vertex count %d", n)
 			}
 			b = NewBuilder(n)
 			header = true
@@ -136,11 +176,19 @@ const binaryVersion = uint32(2)
 // parallel to the adjacency array.
 const binaryFlagWeighted = uint32(1)
 
+// maxBinaryNameLen bounds the name section on both sides of the binary
+// format.
+const maxBinaryNameLen = 1 << 16
+
 // WriteBinary writes a compact little-endian binary encoding: magic,
 // version, flags, name, offsets, adjacency, and (for weighted graphs) the
 // weight array. It is the fast path for checkpointing large random graph
 // instances between experiment stages; name and weights round-trip exactly.
+// Names longer than the reader accepts are rejected up front.
 func (g *Graph) WriteBinary(w io.Writer) error {
+	if len(g.Name()) > maxBinaryNameLen {
+		return fmt.Errorf("graph: name length %d exceeds binary format limit %d", len(g.Name()), maxBinaryNameLen)
+	}
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
 	flags := uint32(0)
@@ -176,6 +224,41 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// readChunkBytes is the number of array entries the binary reader pulls
+// per binary.Read call: allocations grow only as payload actually arrives,
+// so a malformed header declaring 2^28 vertices on a 20-byte input fails
+// after one small chunk instead of allocating gigabytes first (a hang the
+// FuzzBinaryParse target shook out).
+const readChunkBytes = 1 << 16
+
+func readInt32s(r io.Reader, count int) ([]int32, error) {
+	const chunk = readChunkBytes / 4
+	out := make([]int32, 0, min(count, chunk))
+	for len(out) < count {
+		c := min(chunk, count-len(out))
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+func readFloat64s(r io.Reader, count int) ([]float64, error) {
+	const chunk = readChunkBytes / 8
+	out := make([]float64, 0, min(count, chunk))
+	for len(out) < count {
+		c := min(chunk, count-len(out))
+		buf := make([]float64, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
 // ReadBinary parses the WriteBinary format and validates the result.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
@@ -203,7 +286,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, le, &nameLen); err != nil {
 		return nil, err
 	}
-	if nameLen > 1<<16 {
+	if nameLen > maxBinaryNameLen {
 		return nil, fmt.Errorf("graph: unreasonable name length %d", nameLen)
 	}
 	nameBytes := make([]byte, nameLen)
@@ -214,27 +297,34 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, le, &n); err != nil {
 		return nil, err
 	}
-	if n > 1<<28 {
+	if n > maxSerializedVertices {
 		return nil, fmt.Errorf("graph: unreasonable vertex count %d", n)
 	}
-	g := &Graph{
-		offsets: make([]int32, n+1),
-		name:    string(nameBytes),
-	}
-	if err := binary.Read(br, le, &g.offsets); err != nil {
+	g := &Graph{name: string(nameBytes)}
+	var err error
+	if g.offsets, err = readInt32s(br, int(n)+1); err != nil {
 		return nil, err
+	}
+	// The offsets must be validated before anything slices the adjacency
+	// array through them (the loop-counting pass below would panic on a
+	// non-monotone prefix — shaken out by FuzzBinaryParse).
+	if g.offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: corrupt binary payload: offsets do not start at 0")
+	}
+	for v := uint32(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("graph: corrupt binary payload: offsets not monotone at %d", v)
+		}
 	}
 	total := g.offsets[n]
 	if total < 0 {
 		return nil, fmt.Errorf("graph: negative adjacency length")
 	}
-	g.adj = make([]int32, total)
-	if err := binary.Read(br, le, &g.adj); err != nil {
+	if g.adj, err = readInt32s(br, int(total)); err != nil {
 		return nil, err
 	}
 	if flags&binaryFlagWeighted != 0 {
-		g.weights = make([]float64, total)
-		if err := binary.Read(br, le, &g.weights); err != nil {
+		if g.weights, err = readFloat64s(br, int(total)); err != nil {
 			return nil, err
 		}
 	}

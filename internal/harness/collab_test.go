@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+func TestCollaborationSweepQuickSmoke(t *testing.T) {
+	rep, err := RunCollaborationSweep(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Render())
+	if !rep.Pass {
+		t.Fatal("collaboration sweep failed")
+	}
+}
+
+func TestExperimentRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range Experiments() {
+		if ex.ID == "" || ex.Run == nil {
+			t.Fatalf("experiment %+v incomplete", ex)
+		}
+		if seen[ex.ID] {
+			t.Fatalf("duplicate experiment id %q", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+	if !seen["E-collab"] {
+		t.Fatal("E-collab missing from the registry")
+	}
+}

@@ -661,41 +661,58 @@ func estimateLazyCover(g *graph.Graph, start int32, opts walk.MCOptions) (walk.E
 	return walk.Estimate{Summary: stats.Summarize(samples)}, nil
 }
 
-// AllExperiments runs every non-Table-1 experiment in DESIGN.md order.
-func AllExperiments(cfg Config) ([]*Report, error) {
-	runners := []func(Config) (*Report, error){
-		RunBarbellFigure,
-		RunTheorem6CycleFit,
-		RunTheorem8GridSpectrum,
-		RunTheorem13BabyMatthews,
-		RunTheorem9MixingBound,
-		RunTheorem1Matthews,
-		RunTheorem17Concentration,
-		RunLemma19ExpanderVisit,
-		RunLemma22CycleBounds,
-		RunProposition23,
-		RunConjecture10Probe,
-		RunTheorem14Bound,
-		RunConjecture11Probe,
-		RunTheorem24GridLowerBound,
-		RunPartialCoverTail,
-		RunLollipopWorstCase,
-		RunExtraFamilies,
-		RunCoverageProfile,
-		RunSearchTradeoff,
-		RunAblationStartDistribution,
-		RunAblationLazyWalk,
-		RunChurnRobustness,
-		RunAblationNonBacktracking,
-		RunKernelSpeedupSweep,
+// Experiment pairs a report ID with its runner so callers can select
+// experiments by name (cmd/experiments -only) without running them first.
+type Experiment struct {
+	ID  string
+	Run func(Config) (*Report, error)
+}
+
+// Experiments lists every non-Table-1 experiment in DESIGN.md order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"F1-barbell", RunBarbellFigure},
+		{"E-thm6", RunTheorem6CycleFit},
+		{"E-thm8", RunTheorem8GridSpectrum},
+		{"E-thm13", RunTheorem13BabyMatthews},
+		{"E-thm9", RunTheorem9MixingBound},
+		{"E-thm1", RunTheorem1Matthews},
+		{"E-thm17", RunTheorem17Concentration},
+		{"E-lem19", RunLemma19ExpanderVisit},
+		{"E-lem22", RunLemma22CycleBounds},
+		{"E-prop23", RunProposition23},
+		{"E-conj10", RunConjecture10Probe},
+		{"E-thm14", RunTheorem14Bound},
+		{"E-conj11", RunConjecture11Probe},
+		{"E-thm24", RunTheorem24GridLowerBound},
+		{"E-partial", RunPartialCoverTail},
+		{"E-lollipop", RunLollipopWorstCase},
+		{"E-families", RunExtraFamilies},
+		{"E-profile", RunCoverageProfile},
+		{"E-search", RunSearchTradeoff},
+		{"A-start", RunAblationStartDistribution},
+		{"A-lazy", RunAblationLazyWalk},
+		{"A-churn", RunChurnRobustness},
+		{"A-nbrw", RunAblationNonBacktracking},
+		{"E-kernels", RunKernelSpeedupSweep},
+		{"E-collab", RunCollaborationSweep},
 	}
-	reports := make([]*Report, 0, len(runners))
-	for _, run := range runners {
-		rep, err := run(cfg)
+}
+
+// RunExperiments runs the given experiments in order.
+func RunExperiments(cfg Config, list []Experiment) ([]*Report, error) {
+	reports := make([]*Report, 0, len(list))
+	for _, ex := range list {
+		rep, err := ex.Run(cfg)
 		if err != nil {
 			return reports, err
 		}
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// AllExperiments runs every non-Table-1 experiment in DESIGN.md order.
+func AllExperiments(cfg Config) ([]*Report, error) {
+	return RunExperiments(cfg, Experiments())
 }

@@ -220,8 +220,9 @@ func TestAllExperimentsProduceDistinctIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	registry := Experiments()
 	seen := map[string]bool{}
-	for _, r := range reports {
+	for i, r := range reports {
 		if seen[r.ID] {
 			t.Fatalf("duplicate experiment id %s", r.ID)
 		}
@@ -229,9 +230,12 @@ func TestAllExperimentsProduceDistinctIDs(t *testing.T) {
 		if len(r.Rows) == 0 {
 			t.Fatalf("experiment %s produced no rows", r.ID)
 		}
+		if registry[i].ID != r.ID {
+			t.Fatalf("registry id %s != report id %s", registry[i].ID, r.ID)
+		}
 	}
-	if len(reports) != 24 {
-		t.Fatalf("expected 24 experiments, got %d", len(reports))
+	if len(reports) != 25 {
+		t.Fatalf("expected 25 experiments, got %d", len(reports))
 	}
 }
 

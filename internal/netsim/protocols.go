@@ -159,13 +159,23 @@ func RunWalkQueryBatched(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bo
 
 // RunWalkQueryEngine is RunWalkQueryBatched on a caller-held engine, for
 // workloads that issue many queries against one topology and want to pay
-// the engine's table construction once.
+// the engine's table construction once. The query is one engine run: k
+// walkers from origin observed by a target-set HitObserver, stopped at the
+// exact hit round.
 func RunWalkQueryEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem []bool, seed uint64) QueryResult {
 	if hasItem[origin] {
 		return QueryResult{Found: true, Rounds: 0, Messages: 0}
 	}
-	res := eng.KHitFrom(origin, k, hasItem, seed, int64(ttl))
-	if res.Hit {
+	starts := make([]int32, k)
+	for i := range starts {
+		starts[i] = origin
+	}
+	hit := walk.NewHitObserver(hasItem)
+	res, err := eng.Run(walk.RunSpec{Starts: starts, Seed: seed, MaxRounds: int64(ttl)}, hit)
+	if err != nil {
+		panic(err.Error()) // topology mismatch is a caller bug, as in RunWalkQuery
+	}
+	if res.Stopped {
 		return QueryResult{Found: true, Rounds: int(res.Rounds), Messages: int64(k) * res.Rounds}
 	}
 	return QueryResult{Found: false, Rounds: ttl, Messages: int64(k) * int64(ttl)}

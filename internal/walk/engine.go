@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"runtime"
 	"slices"
+	"sort"
 	"sync"
 
 	"manywalks/internal/graph"
@@ -254,10 +255,6 @@ type worker struct {
 	buf    []uint8
 	log    []visitEntry
 	cur    int
-	// hit-mode result for the current batch
-	hitT int64
-	hitV int32
-	hitI int
 }
 
 // runState is the per-run mutable state; pooled because Monte Carlo
@@ -269,27 +266,24 @@ type runState struct {
 	prev    []int32      // previous vertex per walker (-1 first), for prev-lane kernels
 	streams []rng.Source // one independent stream per walker
 	res     []uint64     // per-walker bit reservoir banking the rest of a group's draw
-	seen    []uint8      // merged (global) visited set, one byte per vertex (byte
-	// probes sidestep the store-to-load stalls word-sized bitsets suffer
-	// when many walkers touch the same words)
-	count int // distinct vertices visited
-	ws    []worker
+	seen    []uint8      // merged (global) visited set for the cover observer, one
+	// byte per vertex (byte probes sidestep the store-to-load stalls
+	// word-sized bitsets suffer when many walkers touch the same words)
+	ws []worker
 }
 
 // newRun borrows or allocates run state for k walkers placed at starts,
 // with walker i driven by the independent stream (seed, i). workers is the
-// shard count the run will use.
-func (e *Engine) newRun(starts []int32, seed uint64, workers int) *runState {
+// shard count the run will use; needSeen provisions the pooled visited-set
+// storage a CoverObserver borrows. Starts must already be validated.
+func (e *Engine) newRun(starts []int32, seed uint64, workers int, needSeen bool) *runState {
 	k := len(starts)
-	if k == 0 {
-		panic("walk: k-walk requires at least one walker")
-	}
 	n := e.g.N()
 	st, _ := e.pool.Get().(*runState)
 	if st == nil {
 		st = &runState{}
 	}
-	st.k, st.count = k, 0
+	st.k = k
 	st.batch = e.batch
 	if workers == 1 {
 		st.batch = e.seqBatch
@@ -309,15 +303,14 @@ func (e *Engine) newRun(starts []int32, seed uint64, workers int) *runState {
 			st.prev[i] = -1
 		}
 	}
-	if cap(st.seen) < n {
-		st.seen = make([]uint8, n)
-	}
-	st.seen = st.seen[:n]
-	clear(st.seen)
-	for i, s := range starts {
-		if s < 0 || int(s) >= n {
-			panic(fmt.Sprintf("walk: start %d out of range", s))
+	if needSeen {
+		if cap(st.seen) < n {
+			st.seen = make([]uint8, n)
 		}
+		st.seen = st.seen[:n]
+		clear(st.seen)
+	}
+	for i, s := range starts {
 		st.pos[i] = s
 		st.streams[i].Reseed(rng.StreamSeed(seed, uint64(i)))
 	}
@@ -330,19 +323,21 @@ func (e *Engine) newRun(starts []int32, seed uint64, workers int) *runState {
 		ws := &st.ws[w]
 		ws.lo = min(w*chunk, k)
 		ws.hi = min(ws.lo+chunk, k)
-		if workers == 1 {
-			// A lone worker shares the merged set directly: no per-batch
-			// copy, and every logged entry is globally new by construction.
-			ws.seen = st.seen
-		} else {
-			if cap(ws.buf) < n {
-				ws.buf = make([]uint8, n)
+		if needSeen {
+			if workers == 1 {
+				// A lone worker shares the merged set directly: no per-batch
+				// copy, and every logged entry is globally new by construction.
+				ws.seen = st.seen
+			} else {
+				if cap(ws.buf) < n {
+					ws.buf = make([]uint8, n)
+				}
+				ws.buf = ws.buf[:n]
+				ws.seen = ws.buf
 			}
-			ws.buf = ws.buf[:n]
-			ws.seen = ws.buf
-		}
-		if ws.log == nil {
-			ws.log = make([]visitEntry, 0, 128)
+			if ws.log == nil {
+				ws.log = make([]visitEntry, 0, 128)
+			}
 		}
 	}
 	return st
@@ -500,12 +495,10 @@ func (e *Engine) stepRound(st *runState, lo, hi int, t int64) {
 	}
 }
 
-// coverScan folds one round's frontier into the worker's seen set, logging
-// first visits. The loop is branchless — the entry is written
-// unconditionally and the cursor advances by the complement of the seen
-// byte — because mid-coverage the "already seen?" branch is a coin flip
-// and the mispredictions would dominate the scan.
-func coverScan(pos []int32, seen []uint8, log []visitEntry, t int64) []visitEntry {
+// logNewVisits folds one round's frontier into a shard's seen set, logging
+// first visits; it is the cover observer's scan kernel (see
+// CoverObserver.scan for the branchless-loop rationale).
+func logNewVisits(pos []int32, seen []uint8, log []visitEntry, t int64) []visitEntry {
 	log = slices.Grow(log, len(pos))
 	buf := log[:cap(log)]
 	c := len(log)
@@ -517,129 +510,14 @@ func coverScan(pos []int32, seen []uint8, log []visitEntry, t int64) []visitEntr
 	return buf[:c]
 }
 
-// hitScan returns the in-shard index of the first walker standing on a
-// marked vertex this round, or -1.
-func hitScan(pos []int32, marked []uint64) int {
+// scanMarked returns the in-shard index of the first walker standing on a
+// marked vertex this round, or -1; it is the hit observer's scan kernel.
+func scanMarked(pos []int32, marked []uint64) int {
 	for ii, p := range pos {
 		if marked[p>>6]&(1<<uint(p&63)) != 0 {
 			return ii
 		}
 	}
-	return -1
-}
-
-// stepShard advances walkers [lo,hi) through rounds (t0, t0+b], t0 a
-// group boundary, marking the worker's seen set and logging each
-// first-seen vertex in round order. A lone worker shares the merged set,
-// so it knows the global visit count and stops as soon as target is
-// reached — mid-batch, with no overshoot; sharded workers always run the
-// full batch and let the merge find the stop round. target <= 0 disables
-// the check.
-func (e *Engine) stepShard(st *runState, ws *worker, b int, t0 int64, target int) {
-	single := len(st.ws) == 1
-	for j := 0; j < b; j++ {
-		t := t0 + int64(j) + 1
-		e.stepRound(st, ws.lo, ws.hi, t)
-		ws.log = coverScan(st.pos[ws.lo:ws.hi], ws.seen, ws.log, t)
-		if single && target > 0 && st.count+len(ws.log) >= target {
-			return
-		}
-	}
-}
-
-// stepShardHit advances walkers [lo,hi) through rounds (t0, t0+b], t0 a
-// group boundary, stopping at the end of the first round in which a walker
-// of this shard stood on a marked vertex (lowest walker index wins within
-// the round) and leaving the result in the worker struct.
-func (e *Engine) stepShardHit(st *runState, ws *worker, b int, t0 int64, marked []uint64) {
-	ws.hitT, ws.hitV, ws.hitI = -1, -1, -1
-	for j := 0; j < b; j++ {
-		t := t0 + int64(j) + 1
-		e.stepRound(st, ws.lo, ws.hi, t)
-		if ii := hitScan(st.pos[ws.lo:ws.hi], marked); ii >= 0 {
-			ws.hitT, ws.hitV, ws.hitI = t, st.pos[ws.lo+ii], ws.lo+ii
-			return
-		}
-	}
-}
-
-// runBatch executes one batch of b rounds across the run's workers. In
-// cover mode (marked == nil) each worker logs first visits, stopping early
-// at target when it can see the global count; in hit mode it scans for
-// marked vertices.
-func (e *Engine) runBatch(st *runState, b int, t0 int64, target int, marked []uint64) {
-	run := func(ws *worker) {
-		if marked != nil {
-			e.stepShardHit(st, ws, b, t0, marked)
-		} else {
-			e.stepShard(st, ws, b, t0, target)
-		}
-	}
-	if len(st.ws) == 1 {
-		run(&st.ws[0])
-		return
-	}
-	var wg sync.WaitGroup
-	for w := range st.ws {
-		ws := &st.ws[w]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run(ws)
-		}()
-	}
-	wg.Wait()
-}
-
-// mergeCover folds the workers' batch logs into the shared bitset in round
-// order and returns the exact round at which the distinct-visit count
-// reached target, or -1. When first is non-nil it records each vertex's
-// first-visit round. Worker logs are consumed and reset.
-func (st *runState) mergeCover(b int, t0 int64, target int, first []int64) int64 {
-	if len(st.ws) == 1 {
-		// The worker marked the shared bitset itself, so its log is exactly
-		// the globally new vertices in round order.
-		for _, en := range st.ws[0].log {
-			st.count++
-			if first != nil {
-				first[en.v] = en.t
-			}
-			if st.count >= target {
-				st.resetLogs()
-				return en.t
-			}
-		}
-		st.resetLogs()
-		return -1
-	}
-	seen := st.seen
-	for w := range st.ws {
-		st.ws[w].cur = 0
-	}
-	for t := t0 + 1; t <= t0+int64(b); t++ {
-		for w := range st.ws {
-			ws := &st.ws[w]
-			log := ws.log
-			c := ws.cur
-			for c < len(log) && log[c].t == t {
-				v := log[c].v
-				c++
-				if seen[v] == 0 {
-					seen[v] = 1
-					st.count++
-					if first != nil {
-						first[v] = t
-					}
-					if st.count >= target {
-						st.resetLogs()
-						return t
-					}
-				}
-			}
-			ws.cur = c
-		}
-	}
-	st.resetLogs()
 	return -1
 }
 
@@ -649,48 +527,244 @@ func (st *runState) resetLogs() {
 	}
 }
 
-// seedWorkerSeen copies the merged visited bitset into every worker's
-// private bitset so already-known vertices are not re-logged.
-func (st *runState) seedWorkerSeen() {
-	for w := range st.ws {
-		copy(st.ws[w].seen, st.seen)
+// each runs fn over the run's workers — concurrently when the run is
+// sharded. It is the only synchronization point of a run: everything fn
+// touches is shard-private, and the merges after the barrier see every
+// shard's whole batch.
+func (st *runState) each(fn func(w int, ws *worker)) {
+	if len(st.ws) == 1 {
+		fn(0, &st.ws[0])
+		return
 	}
+	var wg sync.WaitGroup
+	for w := range st.ws {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w, &st.ws[w])
+		}()
+	}
+	wg.Wait()
 }
 
-// coverRun is the shared driver for KCover, KCoverTarget and KFirstVisits.
-func (e *Engine) coverRun(starts []int32, seed uint64, maxRounds int64, target int, first []int64) CoverResult {
-	st := e.newRun(starts, seed, e.workersFor(len(starts)))
+// validateSpec checks a run's shape up front so out-of-range vertex ids
+// surface as descriptive errors instead of index panics inside the hot
+// loop, and fills the spec's defaults.
+func (e *Engine) validateSpec(spec *RunSpec, obs []Observer) error {
+	if len(obs) == 0 {
+		return fmt.Errorf("walk: run requires at least one observer")
+	}
+	k := len(spec.Starts)
+	if k == 0 {
+		return fmt.Errorf("walk: k-walk requires at least one walker")
+	}
+	n := e.g.N()
+	for i, s := range spec.Starts {
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("walk: start[%d] = %d out of range [0,%d)", i, s, n)
+		}
+	}
+	covers := 0
+	for _, o := range obs {
+		if err := o.validate(n, k); err != nil {
+			return err
+		}
+		if _, ok := o.(*CoverObserver); ok {
+			covers++
+		}
+	}
+	if covers > 1 {
+		return fmt.Errorf("walk: at most one CoverObserver per run (it owns the pooled visited set)")
+	}
+	if spec.Stop == nil {
+		spec.Stop = StopWhenAll()
+	}
+	return nil
+}
+
+// Run executes one synchronized k-walk described by spec against the
+// given observers and returns the exact round the stop condition fired.
+// Walker i is driven by the independent stream (spec.Seed, i), scans are
+// shard-private, and merges are round-ordered, so every result — the stop
+// round and all observer state — is bit-for-bit identical for a fixed
+// (graph, kernel, spec, observers) regardless of Workers and BatchRounds.
+//
+// Two observer sets are recognized as fused fast paths that keep the
+// padded/bit-reservoir stepping kernels and the mid-batch early exits: a
+// single CoverObserver (every cover/partial-cover/first-visit/multi-target
+// workload) and a single HitObserver. All other sets run the generic loop.
+func (e *Engine) Run(spec RunSpec, observers ...Observer) (RunResult, error) {
+	if err := e.validateSpec(&spec, observers); err != nil {
+		return RunResult{}, err
+	}
+	needSeen := false
+	for _, o := range observers {
+		if _, ok := o.(*CoverObserver); ok {
+			needSeen = true
+		}
+	}
+	st := e.newRun(spec.Starts, spec.Seed, e.workersFor(len(spec.Starts)), needSeen)
 	defer e.pool.Put(st)
-	for _, s := range starts {
-		if st.seen[s] == 0 {
-			st.seen[s] = 1
-			st.count++
-			if first != nil {
-				first[s] = 0
+	for _, o := range observers {
+		o.reset(e, st, spec.Starts)
+	}
+	if r := spec.Stop.stop(observers); r >= 0 {
+		return RunResult{Rounds: r, Stopped: true}, nil
+	}
+	if spec.MaxRounds <= 0 {
+		return RunResult{Rounds: spec.MaxRounds}, nil
+	}
+	if len(observers) == 1 && satisfactionStop(spec.Stop) {
+		switch o := observers[0].(type) {
+		case *CoverObserver:
+			return e.runCover(st, spec, o), nil
+		case *HitObserver:
+			return e.runHit(st, spec, o), nil
+		}
+	}
+	return e.runGeneric(st, spec, observers), nil
+}
+
+// satisfactionStop reports whether stop fires exactly when the run's sole
+// observer is satisfied — the contract the fused loops implement.
+// RunToHorizon must take the generic loop even for a single observer.
+func satisfactionStop(s StopCondition) bool {
+	switch s.(type) {
+	case stopWhenAll, stopWhenAny:
+		return true
+	}
+	return false
+}
+
+// batchFor clamps the run's batch length to the remaining budget.
+func (st *runState) batchFor(t0, maxRounds int64) int {
+	b := st.batch
+	if int64(b) > maxRounds-t0 {
+		b = int(maxRounds - t0)
+	}
+	return b
+}
+
+// runCover is the fused driver for a lone CoverObserver. A lone worker
+// shares the merged visited set, so it sees the exact global count and
+// stops mid-batch with no overshoot once a pure count goal is reached;
+// sharded workers always run the full batch and let the merge find the
+// exact stop round.
+func (e *Engine) runCover(st *runState, spec RunSpec, cov *CoverObserver) RunResult {
+	early := -1
+	if cov.sharedSeen && cov.earlyTarget > 0 {
+		early = cov.earlyTarget
+	}
+	for t0 := int64(0); t0 < spec.MaxRounds; {
+		b := st.batchFor(t0, spec.MaxRounds)
+		cov.preBatch(st)
+		st.each(func(w int, ws *worker) {
+			for j := 0; j < b; j++ {
+				t := t0 + int64(j) + 1
+				e.stepRound(st, ws.lo, ws.hi, t)
+				cov.scan(st, ws, w, t)
+				if early > 0 && cov.count+len(ws.log) >= early {
+					return
+				}
+			}
+		})
+		cov.beginMerge(st, b, t0)
+		for t := t0 + 1; t <= t0+int64(b); t++ {
+			cov.mergeRound(st, t)
+			if s := cov.satisfied; s >= 0 {
+				cov.endMerge(st)
+				return RunResult{Rounds: s, Stopped: true}
 			}
 		}
+		cov.endMerge(st)
+		t0 += int64(b)
 	}
-	if st.count >= target {
-		return CoverResult{Steps: 0, Covered: true}
+	return RunResult{Rounds: spec.MaxRounds}
+}
+
+// runHit is the fused driver for a lone HitObserver: each shard stops
+// stepping at the end of the first round it holds a hit, and the merge
+// resolves the earliest round (lowest walker index within it) exactly.
+func (e *Engine) runHit(st *runState, spec RunSpec, hit *HitObserver) RunResult {
+	if hit.none {
+		// Nothing is marked; stepping the budget down cannot change that.
+		return RunResult{Rounds: spec.MaxRounds}
 	}
-	if maxRounds <= 0 {
-		return CoverResult{Steps: maxRounds, Covered: false}
-	}
-	for t0 := int64(0); t0 < maxRounds; {
-		b := st.batch
-		if int64(b) > maxRounds-t0 {
-			b = int(maxRounds - t0)
+	for t0 := int64(0); t0 < spec.MaxRounds; {
+		b := st.batchFor(t0, spec.MaxRounds)
+		hit.preBatch(st)
+		st.each(func(w int, ws *worker) {
+			for j := 0; j < b; j++ {
+				t := t0 + int64(j) + 1
+				e.stepRound(st, ws.lo, ws.hi, t)
+				if hit.scan(st, ws, w, t); hit.cand[w].t >= 0 {
+					return
+				}
+			}
+		})
+		hit.beginMerge(st, b, t0)
+		for t := t0 + 1; t <= t0+int64(b); t++ {
+			hit.mergeRound(st, t)
+			if s := hit.satisfied; s >= 0 {
+				hit.endMerge(st)
+				return RunResult{Rounds: s, Stopped: true}
+			}
 		}
-		if len(st.ws) > 1 {
-			st.seedWorkerSeen()
+		hit.endMerge(st)
+		t0 += int64(b)
+	}
+	return RunResult{Rounds: spec.MaxRounds}
+}
+
+// runGeneric drives an arbitrary observer set: every shard runs the full
+// batch invoking each observer's scan hook after every round, and the
+// barrier merges rounds one at a time — evaluating the stop condition
+// after each — so the run halts at the exact round the condition first
+// held and no observer ever merges state past it.
+func (e *Engine) runGeneric(st *runState, spec RunSpec, obs []Observer) RunResult {
+	for t0 := int64(0); t0 < spec.MaxRounds; {
+		b := st.batchFor(t0, spec.MaxRounds)
+		for _, o := range obs {
+			o.preBatch(st)
 		}
-		e.runBatch(st, b, t0, target, nil)
-		if t := st.mergeCover(b, t0, target, first); t >= 0 {
-			return CoverResult{Steps: t, Covered: true}
+		st.each(func(w int, ws *worker) {
+			for j := 0; j < b; j++ {
+				t := t0 + int64(j) + 1
+				e.stepRound(st, ws.lo, ws.hi, t)
+				for _, o := range obs {
+					o.scan(st, ws, w, t)
+				}
+			}
+		})
+		for _, o := range obs {
+			o.beginMerge(st, b, t0)
+		}
+		stopped := int64(-1)
+		for t := t0 + 1; t <= t0+int64(b) && stopped < 0; t++ {
+			for _, o := range obs {
+				o.mergeRound(st, t)
+			}
+			stopped = spec.Stop.stop(obs)
+		}
+		for _, o := range obs {
+			o.endMerge(st)
+		}
+		if stopped >= 0 {
+			return RunResult{Rounds: stopped, Stopped: true}
 		}
 		t0 += int64(b)
 	}
-	return CoverResult{Steps: maxRounds, Covered: false}
+	return RunResult{Rounds: spec.MaxRounds}
+}
+
+// mustRun is the shim behind the legacy convenience wrappers, which keep
+// their documented panic-on-misuse contract on top of Run's error returns.
+func (e *Engine) mustRun(spec RunSpec, obs ...Observer) RunResult {
+	res, err := e.Run(spec, obs...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
 }
 
 // KCover runs the synchronized k-walk from starts until the union of
@@ -698,7 +772,8 @@ func (e *Engine) coverRun(starts []int32, seed uint64, maxRounds int64, target i
 // driven by the independent stream (seed, i), so the result is bit-for-bit
 // reproducible and independent of Workers and BatchRounds.
 func (e *Engine) KCover(starts []int32, seed uint64, maxRounds int64) CoverResult {
-	return e.coverRun(starts, seed, maxRounds, e.g.N(), nil)
+	res := e.mustRun(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, NewCoverObserver())
+	return CoverResult{Steps: res.Rounds, Covered: res.Stopped}
 }
 
 // commonStarts places all k walkers at one vertex.
@@ -719,23 +794,20 @@ func (e *Engine) KCoverFrom(start int32, k int, seed uint64, maxRounds int64) Co
 // KCoverTarget runs the k-walk until target distinct vertices have been
 // visited (target = n is full cover); it panics unless 1 <= target <= n.
 func (e *Engine) KCoverTarget(starts []int32, target int, seed uint64, maxRounds int64) CoverResult {
-	if target < 1 || target > e.g.N() {
+	if target < 1 {
 		panic(fmt.Sprintf("walk: cover target %d out of range [1,%d]", target, e.g.N()))
 	}
-	return e.coverRun(starts, seed, maxRounds, target, nil)
+	res := e.mustRun(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, NewCoverTargetObserver(target))
+	return CoverResult{Steps: res.Rounds, Covered: res.Stopped}
 }
 
 // KFirstVisits runs the k-walk for at most horizon rounds and returns each
 // vertex's first-visit round (-1 if unvisited; start vertices get 0). The
 // run stops early once every vertex is visited.
 func (e *Engine) KFirstVisits(starts []int32, seed uint64, horizon int64) []int64 {
-	n := e.g.N()
-	first := make([]int64, n)
-	for i := range first {
-		first[i] = -1
-	}
-	e.coverRun(starts, seed, horizon, n, first)
-	return first
+	cov := NewFirstVisitObserver()
+	e.mustRun(RunSpec{Starts: starts, Seed: seed, MaxRounds: horizon}, cov)
+	return cov.FirstVisits()
 }
 
 // KHit runs the k-walk until some walker stands on a vertex with
@@ -743,55 +815,94 @@ func (e *Engine) KFirstVisits(starts []int32, seed uint64, horizon int64) []int6
 // at round 0; ties within a round resolve to the lowest walker index.
 // len(marked) must equal n.
 func (e *Engine) KHit(starts []int32, marked []bool, seed uint64, maxRounds int64) HitResult {
-	return e.kHit(starts, marked, seed, maxRounds)
+	hit := NewHitObserver(marked)
+	e.mustRun(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, hit)
+	return hit.Result(maxRounds)
 }
 
 // KHitFrom is KHit with all k walkers started at one vertex — the k-token
 // search-query shape.
 func (e *Engine) KHitFrom(start int32, k int, marked []bool, seed uint64, maxRounds int64) HitResult {
-	return e.kHit(commonStarts(start, k), marked, seed, maxRounds)
+	return e.KHit(commonStarts(start, k), marked, seed, maxRounds)
 }
 
-func (e *Engine) kHit(starts []int32, marked []bool, seed uint64, maxRounds int64) HitResult {
-	n := e.g.N()
-	if len(marked) != n {
-		panic(fmt.Sprintf("walk: marked length %d != n %d", len(marked), n))
+// KHitTargets runs the k-walk until every target vertex has been visited
+// by some walker, or maxRounds rounds elapse, reporting each target's
+// exact first-hit round from the single pass. A single-target run agrees
+// with KHit exactly; per-target rounds agree with KFirstVisits exactly.
+func (e *Engine) KHitTargets(starts, targets []int32, seed uint64, maxRounds int64) (MultiHitResult, error) {
+	if len(targets) == 0 {
+		return MultiHitResult{}, fmt.Errorf("walk: KHitTargets requires at least one target")
 	}
-	for i, s := range starts {
-		if marked[s] {
-			return HitResult{Rounds: 0, Vertex: s, Walker: i, Hit: true}
-		}
+	cov := NewTargetSetObserver(targets)
+	res, err := e.Run(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, cov)
+	if err != nil {
+		return MultiHitResult{}, err
 	}
-	bitset := make([]uint64, (n+63)/64)
-	any := false
-	for v, m := range marked {
-		if m {
-			bitset[v>>6] |= 1 << uint(v&63)
-			any = true
-		}
+	return MultiHitResult{Rounds: res.Rounds, FirstHit: cov.TargetHits(), AllHit: res.Stopped}, nil
+}
+
+// PartialCoverCurve runs the k-walk once and reports the exact round each
+// cover fraction in fractions was reached (fraction α maps to the count
+// target max(1, ⌊α·n⌋)). The run stops when the largest fraction is
+// reached or maxRounds elapse; unreached fractions report -1. Each entry
+// agrees exactly with a KCoverTarget run at the same count target.
+func (e *Engine) PartialCoverCurve(starts []int32, fractions []float64, seed uint64, maxRounds int64) (PartialCoverResult, error) {
+	if len(fractions) == 0 {
+		return PartialCoverResult{}, fmt.Errorf("walk: PartialCoverCurve requires at least one fraction")
 	}
-	if !any || maxRounds <= 0 {
-		return HitResult{Rounds: maxRounds, Vertex: -1, Walker: -1}
+	// The observer wants nondecreasing thresholds; sort through an index
+	// permutation and report rounds in the caller's order.
+	order := make([]int, len(fractions))
+	for i := range order {
+		order[i] = i
 	}
-	st := e.newRun(starts, seed, e.workersFor(len(starts)))
-	defer e.pool.Put(st)
-	for t0 := int64(0); t0 < maxRounds; {
-		b := st.batch
-		if int64(b) > maxRounds-t0 {
-			b = int(maxRounds - t0)
-		}
-		e.runBatch(st, b, t0, 0, bitset)
-		bestT, bestV, bestI := int64(-1), int32(-1), -1
-		for w := range st.ws {
-			ws := &st.ws[w]
-			if ws.hitT >= 0 && (bestT < 0 || ws.hitT < bestT || (ws.hitT == bestT && ws.hitI < bestI)) {
-				bestT, bestV, bestI = ws.hitT, ws.hitV, ws.hitI
-			}
-		}
-		if bestT >= 0 {
-			return HitResult{Rounds: bestT, Vertex: bestV, Walker: bestI, Hit: true}
-		}
-		t0 += int64(b)
+	sort.Slice(order, func(a, b int) bool { return fractions[order[a]] < fractions[order[b]] })
+	sorted := make([]float64, len(fractions))
+	for i, idx := range order {
+		sorted[i] = fractions[idx]
 	}
-	return HitResult{Rounds: maxRounds, Vertex: -1, Walker: -1}
+	cov := NewPartialCoverObserver(sorted)
+	res, err := e.Run(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, cov)
+	if err != nil {
+		return PartialCoverResult{}, err
+	}
+	rounds := make([]int64, len(fractions))
+	for i, idx := range order {
+		rounds[idx] = cov.ThresholdRounds()[i]
+	}
+	return PartialCoverResult{Rounds: rounds, FinalRound: res.Rounds, Complete: res.Stopped}, nil
+}
+
+// KMeetingTime runs the k-walk until any two walkers occupy the same
+// vertex at the end of a round (walkers sharing a start meet at round 0),
+// or maxRounds rounds elapse. Collisions are resolved at the batch
+// barrier, so the result is exact and independent of Workers/BatchRounds.
+func (e *Engine) KMeetingTime(starts []int32, seed uint64, maxRounds int64) (MeetResult, error) {
+	m := NewMeetingObserver()
+	res, err := e.Run(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, m)
+	if err != nil {
+		return MeetResult{}, err
+	}
+	a, b := m.MeetPair()
+	return MeetResult{Rounds: res.Rounds, WalkerA: a, WalkerB: b, Vertex: m.MeetVertex(), Met: res.Stopped}, nil
+}
+
+// KCoalescenceTime runs the k-walk until all walkers have merged into one
+// meeting-equivalence class — walkers that have once shared a vertex are
+// merged, modeling information fusing on contact — or maxRounds rounds
+// elapse. The first meeting round of the same run is reported too; for
+// k = 2 the two coincide.
+func (e *Engine) KCoalescenceTime(starts []int32, seed uint64, maxRounds int64) (CoalesceResult, error) {
+	c := NewCoalescenceObserver()
+	res, err := e.Run(RunSpec{Starts: starts, Seed: seed, MaxRounds: maxRounds}, c)
+	if err != nil {
+		return CoalesceResult{}, err
+	}
+	return CoalesceResult{
+		Rounds:       res.Rounds,
+		FirstMeeting: c.MeetRound(),
+		Groups:       c.Groups(),
+		Coalesced:    res.Stopped,
+	}, nil
 }

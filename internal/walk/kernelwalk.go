@@ -242,6 +242,9 @@ func EstimateKernelKCoverTime(g *graph.Graph, kern Kernel, start int32, k int, o
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return Estimate{}, err
+	}
 	eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: kern})
 	return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
 		res := eng.KCoverFrom(start, k, r.Uint64(), opts.MaxSteps)
@@ -258,6 +261,9 @@ func EstimateKernelHittingTime(g *graph.Graph, k Kernel, start, target int32, op
 	}
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: hitting time diverges on disconnected graphs")
+	}
+	if err := checkStarts(g, []int32{start, target}); err != nil {
+		return Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: k})
 	marked := make([]bool, g.N())

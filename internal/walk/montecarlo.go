@@ -67,6 +67,19 @@ func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]fl
 	return results, nil
 }
 
+// checkStarts validates vertex ids against g up front, so estimators
+// return a descriptive error instead of panicking inside a Monte Carlo
+// worker goroutine (which would crash the process).
+func checkStarts(g *graph.Graph, starts []int32) error {
+	n := g.N()
+	for i, s := range starts {
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("walk: vertex[%d] = %d out of range [0,%d)", i, s, n)
+		}
+	}
+	return nil
+}
+
 // Estimate holds a Monte Carlo estimate with its uncertainty plus coverage
 // accounting: Truncated counts trials that exhausted MaxSteps; their
 // (censored) values are included in the summary, biasing it low, so any
@@ -88,6 +101,9 @@ func (e Estimate) CI95() float64 { return e.Summary.CI95() }
 func EstimateCoverTime(g *graph.Graph, start int32, opts MCOptions) (Estimate, error) {
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	var mu sync.Mutex
@@ -115,6 +131,9 @@ func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Est
 	}
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	var mu sync.Mutex
@@ -169,6 +188,9 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: hitting time diverges on disconnected graphs")
 	}
+	if err := checkStarts(g, []int32{start, target}); err != nil {
+		return Estimate{}, err
+	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	marked := make([]bool, g.N())
 	marked[target] = true
@@ -194,6 +216,9 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 func CoverTimeTail(g *graph.Graph, start int32, horizon int64, opts MCOptions) (float64, error) {
 	if horizon <= 0 {
 		return 0, fmt.Errorf("walk: horizon must be > 0")
+	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return 0, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {

@@ -55,6 +55,9 @@ func EstimatePartialCoverTime(g *graph.Graph, start int32, k int, alpha float64,
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return Estimate{}, err
+	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	n := g.N()
 	target := int(alpha * float64(n))
@@ -128,26 +131,218 @@ func MeetingTimeFrom(g *graph.Graph, u, v int32, r *rng.Source, maxRounds int64)
 	return maxRounds, false
 }
 
-// EstimateMeetingTime estimates the expected meeting round of two walks.
+// KMeetingFromVertices is the legacy per-walker reference loop for the
+// k-walk meeting time: all walkers step through one shared rng.Source and
+// the first round any two occupy the same vertex is returned (duplicate
+// starts meet at round 0). It is the statistical baseline the engine's
+// CollisionObserver is validated against; estimators run on
+// Engine.KMeetingTime.
+func KMeetingFromVertices(g *graph.Graph, starts []int32, r *rng.Source, maxRounds int64) (int64, bool) {
+	coal, _, _ := legacyCollisionLoop(g, starts, r, maxRounds, true)
+	return coal.round, coal.ok
+}
+
+// KCoalescenceFromVertices is the legacy reference loop for the k-walk
+// coalescence time under the union-of-meetings relation: walkers that have
+// once shared a vertex merge into one class, and the loop reports the
+// round the classes collapse to one, plus the first meeting round of the
+// same trajectory.
+func KCoalescenceFromVertices(g *graph.Graph, starts []int32, r *rng.Source, maxRounds int64) (coalesce int64, meet int64, ok bool) {
+	res, firstMeet, _ := legacyCollisionLoop(g, starts, r, maxRounds, false)
+	return res.round, firstMeet, res.ok
+}
+
+type legacyCollision struct {
+	round int64
+	ok    bool
+}
+
+// legacyCollisionLoop shares the meeting/coalescence bookkeeping of the two
+// legacy loops above. With stopAtMeet the loop returns at the first
+// collision; otherwise it runs to full coalescence.
+func legacyCollisionLoop(g *graph.Graph, starts []int32, r *rng.Source, maxRounds int64, stopAtMeet bool) (legacyCollision, int64, int) {
+	k := len(starts)
+	if k < 2 {
+		panic("walk: collision loop requires at least 2 walkers")
+	}
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(i int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	groups := k
+	firstMeet := int64(-1)
+	at := make(map[int32]int, k)
+	observe := func(t int64, pos []int32) (done bool) {
+		clear(at)
+		for i, p := range pos {
+			j, hit := at[p]
+			if !hit {
+				at[p] = i
+				continue
+			}
+			if firstMeet < 0 {
+				firstMeet = t
+			}
+			if ra, rb := find(j), find(i); ra != rb {
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+				groups--
+			}
+		}
+		if stopAtMeet {
+			return firstMeet >= 0
+		}
+		return groups == 1
+	}
+	pos := make([]int32, k)
+	copy(pos, starts)
+	if observe(0, pos) {
+		return legacyCollision{0, true}, firstMeet, groups
+	}
+	for t := int64(1); t <= maxRounds; t++ {
+		for i, p := range pos {
+			nb := g.Neighbors(p)
+			pos[i] = nb[r.Intn(len(nb))]
+		}
+		if observe(t, pos) {
+			return legacyCollision{t, true}, firstMeet, groups
+		}
+	}
+	return legacyCollision{maxRounds, false}, firstMeet, groups
+}
+
+// EstimateMeetingTime estimates the expected meeting round of two walks on
+// the batched engine (starts u and v, one run per trial).
 func EstimateMeetingTime(g *graph.Graph, u, v int32, opts MCOptions) (Estimate, error) {
+	return EstimateKMeetingTime(g, []int32{u, v}, opts)
+}
+
+// EstimateKMeetingTime estimates the expected first-meeting round of the
+// synchronized k-walk from the given starts. On bipartite graphs walkers
+// started on opposite sides never meet under simultaneous moves; such
+// trials exhaust MaxSteps and count as Truncated.
+func EstimateKMeetingTime(g *graph.Graph, starts []int32, opts MCOptions) (Estimate, error) {
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: meeting time diverges on disconnected graphs")
 	}
-	var mu sync.Mutex
-	truncated := 0
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		steps, met := MeetingTimeFrom(g, u, v, r, opts.MaxSteps)
-		if !met {
-			mu.Lock()
-			truncated++
-			mu.Unlock()
-		}
-		return float64(steps)
-	})
-	if err != nil {
+	if err := checkStarts(g, starts); err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+	if len(starts) < 2 {
+		return Estimate{}, fmt.Errorf("walk: meeting time requires at least 2 walkers, got %d", len(starts))
+	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
+		res, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
+		if err != nil {
+			panic(err.Error()) // validated above; unreachable
+		}
+		return float64(res.Rounds), res.Met
+	})
+}
+
+// EstimateKCoalescenceTime estimates the expected full-coalescence round
+// of the synchronized k-walk, together with the expected first-meeting
+// round of the same runs (for k = 2 the two coincide).
+func EstimateKCoalescenceTime(g *graph.Graph, starts []int32, opts MCOptions) (coalesce, meet Estimate, err error) {
+	if !g.IsConnected() {
+		return Estimate{}, Estimate{}, fmt.Errorf("walk: coalescence time diverges on disconnected graphs")
+	}
+	if err := checkStarts(g, starts); err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	if len(starts) < 2 {
+		return Estimate{}, Estimate{}, fmt.Errorf("walk: coalescence time requires at least 2 walkers, got %d", len(starts))
+	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	meets := make([]float64, opts.Trials)
+	var mu sync.Mutex
+	meetTruncated := 0
+	coalesce, err = kernelEstimate(opts, func(trial int, r *rng.Source) (float64, bool) {
+		res, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
+		if err != nil {
+			panic(err.Error()) // validated above; unreachable
+		}
+		m := res.FirstMeeting
+		if m < 0 {
+			m = opts.MaxSteps
+			mu.Lock()
+			meetTruncated++
+			mu.Unlock()
+		}
+		meets[trial] = float64(m)
+		return float64(res.Rounds), res.Coalesced
+	})
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
+	return coalesce, meet, nil
+}
+
+// MeanPartialCoverRounds estimates, per cover fraction, the expected round
+// the k-walk from start first reaches it — the whole partial-cover curve
+// from single runs. Fractions not reached within MaxSteps are censored at
+// MaxSteps and counted in that fraction's Truncated.
+func MeanPartialCoverRounds(g *graph.Graph, start int32, k int, fractions []float64, opts MCOptions) ([]Estimate, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("walk: k must be >= 1")
+	}
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("walk: need at least one fraction")
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+	}
+	if err := checkStarts(g, []int32{start}); err != nil {
+		return nil, err
+	}
+	for _, f := range fractions {
+		if !(f > 0 && f <= 1) {
+			return nil, fmt.Errorf("walk: cover fraction %v must be in (0,1]", f)
+		}
+	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	starts := commonStarts(start, k)
+	rounds := make([][]float64, len(fractions))
+	for i := range rounds {
+		rounds[i] = make([]float64, opts.Trials)
+	}
+	var mu sync.Mutex
+	truncated := make([]int, len(fractions))
+	_, err := MonteCarlo(opts, func(trial int, r *rng.Source) float64 {
+		res, err := eng.PartialCoverCurve(starts, fractions, r.Uint64(), opts.MaxSteps)
+		if err != nil {
+			panic(err.Error()) // validated above; unreachable
+		}
+		for i, t := range res.Rounds {
+			if t < 0 {
+				t = opts.MaxSteps
+				mu.Lock()
+				truncated[i]++
+				mu.Unlock()
+			}
+			rounds[i][trial] = float64(t)
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	ests := make([]Estimate, len(fractions))
+	for i := range ests {
+		ests[i] = Estimate{Summary: stats.Summarize(rounds[i]), Truncated: truncated[i]}
+	}
+	return ests, nil
 }
 
 // CoverageProfile runs one k-walk for exactly horizon rounds and returns

@@ -183,6 +183,95 @@ func RunKWalk(g *Graph, start int32, k int, seed uint64, maxRounds int64) CoverR
 	return walk.NewEngine(g, walk.EngineOptions{}).KCoverFrom(start, k, seed, maxRounds)
 }
 
+// Observer run-loop API: one engine core drives every estimate, observed
+// through pluggable per-shard scan hooks and exact barrier merges. See
+// Engine.Run.
+
+// RunSpec describes one engine run: starting placement, root seed, round
+// budget, and the stop condition evaluated against the run's observers
+// (nil means StopWhenAll).
+type RunSpec = walk.RunSpec
+
+// RunResult reports how a run ended: the exact round the stop condition
+// fired, or the exhausted budget.
+type RunResult = walk.RunResult
+
+// Observer watches an engine run; construct instances with the New*Observer
+// functions below. Observers are single-run objects.
+type Observer = walk.Observer
+
+// StopCondition combines observer verdicts into the run's halt decision.
+type StopCondition = walk.StopCondition
+
+// StopWhenAll halts a run at the first round every observer is satisfied
+// (the default).
+func StopWhenAll() StopCondition { return walk.StopWhenAll() }
+
+// StopWhenAny halts a run at the first round any observer is satisfied.
+func StopWhenAny() StopCondition { return walk.StopWhenAny() }
+
+// RunToHorizon never halts early; the run spends its full MaxRounds.
+func RunToHorizon() StopCondition { return walk.RunToHorizon() }
+
+// CoverObserver tracks distinct visited vertices (full/partial cover,
+// first-visit logs, coverage profiles, multi-target searches).
+type CoverObserver = walk.CoverObserver
+
+// HitObserver watches for any walker standing on a marked vertex.
+type HitObserver = walk.HitObserver
+
+// CollisionObserver detects walkers sharing a vertex (meeting, pursuit,
+// coalescence).
+type CollisionObserver = walk.CollisionObserver
+
+// NewCoverObserver returns a full-cover observer.
+func NewCoverObserver() *CoverObserver { return walk.NewCoverObserver() }
+
+// NewCoverTargetObserver returns an observer satisfied at target distinct
+// visits.
+func NewCoverTargetObserver(target int) *CoverObserver { return walk.NewCoverTargetObserver(target) }
+
+// NewFirstVisitObserver returns a full-cover observer recording every
+// vertex's first-visit round.
+func NewFirstVisitObserver() *CoverObserver { return walk.NewFirstVisitObserver() }
+
+// NewPartialCoverObserver records the exact round each cover fraction in
+// thresholds (nondecreasing, in (0,1]) is reached.
+func NewPartialCoverObserver(thresholds []float64) *CoverObserver {
+	return walk.NewPartialCoverObserver(thresholds)
+}
+
+// NewTargetSetObserver is satisfied once every target vertex has been
+// visited, recording per-target first-hit rounds.
+func NewTargetSetObserver(targets []int32) *CoverObserver { return walk.NewTargetSetObserver(targets) }
+
+// NewHitObserver returns a hit observer for the marked vertex set.
+func NewHitObserver(marked []bool) *HitObserver { return walk.NewHitObserver(marked) }
+
+// NewMeetingObserver is satisfied at the first round any two walkers share
+// a vertex.
+func NewMeetingObserver() *CollisionObserver { return walk.NewMeetingObserver() }
+
+// NewPursuitObserver counts only collisions involving walker focus — the
+// hunters-and-prey pursuit with the prey as one walker of the run.
+func NewPursuitObserver(focus int) *CollisionObserver { return walk.NewPursuitObserver(focus) }
+
+// NewCoalescenceObserver is satisfied when all walkers have merged into
+// one meeting-equivalence class.
+func NewCoalescenceObserver() *CollisionObserver { return walk.NewCoalescenceObserver() }
+
+// MeetResult reports a pairwise meeting run.
+type MeetResult = walk.MeetResult
+
+// CoalesceResult reports a coalescence run.
+type CoalesceResult = walk.CoalesceResult
+
+// MultiHitResult reports a multi-target search.
+type MultiHitResult = walk.MultiHitResult
+
+// PartialCoverResult reports a partial-cover-curve run.
+type PartialCoverResult = walk.PartialCoverResult
+
 // MCOptions configures Monte Carlo estimation: Trials, Workers (0 =
 // GOMAXPROCS), root Seed, and the per-trial MaxSteps budget.
 type MCOptions = walk.MCOptions
@@ -229,6 +318,29 @@ func KernelKCoverTime(g *Graph, kern Kernel, start int32, k int, opts MCOptions)
 // exact cross-check.
 func KernelHittingTime(g *Graph, k Kernel, start, target int32, opts MCOptions) (Estimate, error) {
 	return walk.EstimateKernelHittingTime(g, k, start, target, opts)
+}
+
+// KMeetingTime estimates the expected first-meeting round of the k-walk
+// from the given starts (any two walkers sharing a vertex after a round);
+// see also MeetingTime in extras.go for the classic two-walker shape. On
+// bipartite graphs walkers started on opposite sides never meet under
+// simultaneous moves; such trials count as Truncated.
+func KMeetingTime(g *Graph, starts []int32, opts MCOptions) (Estimate, error) {
+	return walk.EstimateKMeetingTime(g, starts, opts)
+}
+
+// KCoalescenceTime estimates the expected full-coalescence round of the
+// k-walk (walkers that have met merge into one class), together with the
+// expected first-meeting round of the same runs.
+func KCoalescenceTime(g *Graph, starts []int32, opts MCOptions) (coalesce, meet Estimate, err error) {
+	return walk.EstimateKCoalescenceTime(g, starts, opts)
+}
+
+// PartialCoverRounds estimates, per cover fraction, the expected round the
+// k-walk from start first reaches it — the whole partial-cover curve from
+// single runs.
+func PartialCoverRounds(g *Graph, start int32, k int, fractions []float64, opts MCOptions) ([]Estimate, error) {
+	return walk.MeanPartialCoverRounds(g, start, k, fractions, opts)
 }
 
 // SpeedupPoint is one measured (k, S^k) with provenance and CI band.
