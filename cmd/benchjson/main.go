@@ -1,0 +1,140 @@
+// Command benchjson runs the repository's pinned benchmark set in-process
+// and writes machine-readable rows, so the performance trajectory of the
+// hot paths accumulates as committed JSON snapshots (BENCH_PR4.json is the
+// first). Each row reports ns/op and, for Monte Carlo estimator shapes,
+// trials/sec — the unit the trial-fused driver is gated on.
+//
+// Usage:
+//
+//	benchjson [-o BENCH.json] [-count 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"manywalks/internal/graph"
+	"manywalks/internal/walk"
+	"os"
+	"testing"
+)
+
+// row is one benchmark measurement.
+type row struct {
+	Bench        string  `json:"bench"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+}
+
+// pinned is the benchmark set every snapshot runs: the singleton engine
+// gate shapes, the hit path, and the trial-fused estimator shapes.
+func pinned() []struct {
+	name   string
+	trials int // per op; 0 for non-estimator rows
+	fn     func(b *testing.B)
+} {
+	expander := graph.MargulisExpander(24)
+	expander4096 := graph.MargulisExpander(64)
+	return []struct {
+		name   string
+		trials int
+		fn     func(b *testing.B)
+	}{
+		{"KCoverEngineSeq/expander576", 0, func(b *testing.B) {
+			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
+			for i := 0; i < b.N; i++ {
+				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
+					b.Fatal("not covered")
+				}
+			}
+		}},
+		{"KCoverEngineSeq/expander4096", 0, func(b *testing.B) {
+			eng := walk.NewEngine(expander4096, walk.EngineOptions{Workers: 1})
+			for i := 0; i < b.N; i++ {
+				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
+					b.Fatal("not covered")
+				}
+			}
+		}},
+		{"KHitEngine/expander576", 0, func(b *testing.B) {
+			marked := make([]bool, expander.N())
+			for v := 50; v < expander.N(); v += 97 {
+				marked[v] = true
+			}
+			starts := make([]int32, 64)
+			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
+			for i := 0; i < b.N; i++ {
+				if !eng.KHit(starts, marked, uint64(i), 1<<20).Hit {
+					b.Fatal("no hit")
+				}
+			}
+		}},
+		{"EstimateKCoverTime/expander576_k64_t256_w1", 256, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := walk.EstimateKCoverTime(expander, 0, 64, walk.MCOptions{
+					Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 20,
+				})
+				if err != nil || est.Truncated != 0 {
+					b.Fatalf("estimate failed: %v", err)
+				}
+			}
+		}},
+		{"EstimateCoverTime/expander576_k1_t64_w1", 64, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := walk.EstimateCoverTime(expander, 0, walk.MCOptions{
+					Trials: 64, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 24,
+				})
+				if err != nil || est.Truncated != 0 {
+					b.Fatalf("estimate failed: %v", err)
+				}
+			}
+		}},
+		{"EstimateHittingTime/expander576_t256_w1", 256, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := walk.EstimateHittingTime(expander, 0, 300, walk.MCOptions{
+					Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 24,
+				}); err != nil {
+					b.Fatalf("estimate failed: %v", err)
+				}
+			}
+		}},
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "output path for the JSON rows")
+	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
+	flag.Parse()
+
+	rows := make([]row, 0, 8)
+	for _, p := range pinned() {
+		best := testing.BenchmarkResult{}
+		for c := 0; c < *count; c++ {
+			res := testing.Benchmark(p.fn)
+			if best.N == 0 || res.NsPerOp() < best.NsPerOp() {
+				best = res
+			}
+		}
+		r := row{Bench: p.name, NsPerOp: float64(best.NsPerOp())}
+		if p.trials > 0 && best.T > 0 {
+			r.TrialsPerSec = float64(p.trials) * float64(best.N) / best.T.Seconds()
+		}
+		rows = append(rows, r)
+		fmt.Printf("%-45s %12.0f ns/op", r.Bench, r.NsPerOp)
+		if r.TrialsPerSec > 0 {
+			fmt.Printf(" %10.0f trials/sec", r.TrialsPerSec)
+		}
+		fmt.Println()
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -306,14 +306,18 @@ func RunSearchTradeoff(cfg Config) (*Report, error) {
 	}
 	walkAgg := map[int]*agg{}
 	var walkLatency1 float64
-	// Queries run on the batched k-walk engine (netsim.RunWalkQueryEngine),
-	// constructed once for the overlay and shared across all trials.
+	// All of a fleet size's queries run as one trial-fused engine pass
+	// (netsim.RunWalkQueriesEngine) against an engine constructed once for
+	// the overlay; per-query seeds are unchanged, so every result matches
+	// the former query-at-a-time loop exactly.
 	queryEngine := walk.NewEngine(g, walk.EngineOptions{})
 	for _, k := range []int{1, 4, 16} {
 		a := &agg{}
-		for q := 0; q < queries; q++ {
-			res := netsim.RunWalkQueryEngine(queryEngine, 0, k, ttl, hasItem,
-				cfg.Seed^hashKey(fmt.Sprintf("search-%d-%d", k, q)))
+		seeds := make([]uint64, queries)
+		for q := range seeds {
+			seeds[q] = cfg.Seed ^ hashKey(fmt.Sprintf("search-%d-%d", k, q))
+		}
+		for _, res := range netsim.RunWalkQueriesEngine(queryEngine, 0, k, ttl, hasItem, seeds) {
 			if res.Found {
 				a.found++
 				a.rounds += int64(res.Rounds)

@@ -86,3 +86,24 @@ func TestBatchedAgreesWithMessageSimulator(t *testing.T) {
 		t.Fatalf("hit rates diverge: message %v vs batched %v", pm, pb)
 	}
 }
+
+// TestWalkQueriesGroupedMatchSingle pins the trial-fused query batch
+// against the one-run-per-query path: same seeds, same results.
+func TestWalkQueriesGroupedMatchSingle(t *testing.T) {
+	g := graph.Cycle(64)
+	hasItem := make([]bool, g.N())
+	hasItem[11] = true
+	hasItem[40] = true
+	eng := walk.NewEngine(g, walk.EngineOptions{})
+	seeds := make([]uint64, 32)
+	for i := range seeds {
+		seeds[i] = uint64(i)*977 + 5
+	}
+	got := RunWalkQueriesEngine(eng, 0, 3, 4000, hasItem, seeds)
+	for i, seed := range seeds {
+		want := RunWalkQueryEngine(eng, 0, 3, 4000, hasItem, seed)
+		if got[i] != want {
+			t.Fatalf("query %d: grouped %+v != single %+v", i, got[i], want)
+		}
+	}
+}

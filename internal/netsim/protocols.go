@@ -180,3 +180,51 @@ func RunWalkQueryEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem []b
 	}
 	return QueryResult{Found: false, Rounds: ttl, Messages: int64(k) * int64(ttl)}
 }
+
+// RunWalkQueriesEngine answers one query per seed as a single trial-fused
+// engine pass (walk.RunGrouped): every query is a lane of k walkers from
+// origin, and finished queries retire so slow ones don't drag the batch.
+// Each result is bit-for-bit equal to RunWalkQueryEngine with the same
+// seed — the fusion is pure batching, not a protocol change — which is
+// what lets the harness's search sweeps issue hundreds of queries per
+// overlay at estimator throughput.
+func RunWalkQueriesEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem []bool, seeds []uint64) []QueryResult {
+	out := make([]QueryResult, len(seeds))
+	if len(seeds) == 0 {
+		return out
+	}
+	if hasItem[origin] {
+		for i := range out {
+			out[i] = QueryResult{Found: true, Rounds: 0, Messages: 0}
+		}
+		return out
+	}
+	if int64(ttl) <= 0 || int64(ttl) >= 1<<31 {
+		// Outside the grouped driver's budget range: answer query by query.
+		for i, seed := range seeds {
+			out[i] = RunWalkQueryEngine(eng, origin, k, ttl, hasItem, seed)
+		}
+		return out
+	}
+	starts := make([]int32, k)
+	for i := range starts {
+		starts[i] = origin
+	}
+	res, err := eng.RunGrouped(walk.GroupedRunSpec{
+		Trials:    len(seeds),
+		Starts:    starts,
+		Seeds:     seeds,
+		MaxRounds: int64(ttl),
+	}, walk.NewGroupHitObserver(hasItem))
+	if err != nil {
+		panic(err.Error()) // topology mismatch is a caller bug, as in RunWalkQuery
+	}
+	for i := range out {
+		if res.Stopped[i] {
+			out[i] = QueryResult{Found: true, Rounds: int(res.Rounds[i]), Messages: int64(k) * res.Rounds[i]}
+		} else {
+			out[i] = QueryResult{Found: false, Rounds: ttl, Messages: int64(k) * int64(ttl)}
+		}
+	}
+	return out
+}

@@ -93,7 +93,8 @@ const (
 // use: every run allocates (or borrows from an internal pool) its own
 // walker state.
 type Engine struct {
-	g   *graph.Graph
+	// Hot step-path fields stay at the top of the struct so the per-round
+	// dispatch and table lookups share cache lines.
 	adj []int32
 	// vtx packs vertex v's CSR range as offset<<32 | degree, halving the
 	// per-step metadata loads relative to two offsets lookups.
@@ -108,13 +109,16 @@ type Engine struct {
 	// enough to be worth it (maxPadEntries).
 	pad      []int32
 	padShift uint32
-	group    int // rounds funded by one 64-bit draw; batches span whole groups
-	workers  int
-	batch    int       // rounds per barrier for sharded (multi-worker) runs
-	seqBatch int       // rounds per merge for single-worker runs (overshoot is pure waste there)
-	pool     sync.Pool // *runState, reused across runs to cut allocation churn
-	kernel   Kernel
+	group    int           // rounds funded by one 64-bit draw; batches span whole groups
 	prog     kernelProgram // compiled step law: alias tables, lazy threshold, prev-lane flag
+	workers  int
+	batch    int // rounds per barrier for sharded (multi-worker) runs
+	seqBatch int // rounds per merge for single-worker runs (overshoot is pure waste there)
+	g        *graph.Graph
+	kernel   Kernel
+	pool     sync.Pool // *runState, reused across runs to cut allocation churn
+	gpool    sync.Pool // *groupState, reused across grouped (trial-fused) runs
+	pair     pairTable // lazily built two-step table for the fused grouped path
 }
 
 const (
@@ -251,10 +255,42 @@ type visitEntry struct {
 // in round order and cur is the merge sweep's cursor into it.
 type worker struct {
 	lo, hi int
-	seen   []uint8 // view: the private buf, or the run's merged set when sharing
-	buf    []uint8
+	seen   []uint64 // view: the private buf, or the run's merged set when sharing
+	buf    []uint64
 	log    []visitEntry
 	cur    int
+}
+
+// seenWords is the length of a word-packed visited bitset over n vertices.
+func seenWords(n int) int { return (n + 63) / 64 }
+
+// testAndSet marks vertex v in the word-packed set and reports whether it
+// was already marked.
+func testAndSet(seen []uint64, v int32) bool {
+	w := seen[uint32(v)>>6]
+	bit := uint64(1) << (uint(v) & 63)
+	seen[uint32(v)>>6] = w | bit
+	return w&bit != 0
+}
+
+// compileMarkedBitset packs a marked-vertex set into a word bitset (reusing
+// buf's capacity) and reports whether the set is empty — the shared
+// marked-set compile of the sequential and grouped hit observers.
+func compileMarkedBitset(marked []bool, buf []uint64) (bitset []uint64, none bool) {
+	words := seenWords(len(marked))
+	if cap(buf) < words {
+		buf = make([]uint64, words)
+	}
+	bitset = buf[:words]
+	clear(bitset)
+	none = true
+	for v, m := range marked {
+		if m {
+			bitset[v>>6] |= 1 << uint(v&63)
+			none = false
+		}
+	}
+	return bitset, none
 }
 
 // runState is the per-run mutable state; pooled because Monte Carlo
@@ -266,10 +302,12 @@ type runState struct {
 	prev    []int32      // previous vertex per walker (-1 first), for prev-lane kernels
 	streams []rng.Source // one independent stream per walker
 	res     []uint64     // per-walker bit reservoir banking the rest of a group's draw
-	seen    []uint8      // merged (global) visited set for the cover observer, one
-	// byte per vertex (byte probes sidestep the store-to-load stalls
-	// word-sized bitsets suffer when many walkers touch the same words)
-	ws []worker
+	seen    []uint64     // merged (global) visited set for the cover observer,
+	// word-packed (1 bit per vertex): clears between pooled runs touch n/8
+	// bytes instead of n, and a whole shard copy in preBatch is a short
+	// word-sized memmove
+	probe []uint8 // lone-worker byte probe (see logNewVisitsBytes)
+	ws    []worker
 }
 
 // newRun borrows or allocates run state for k walkers placed at starts,
@@ -304,11 +342,19 @@ func (e *Engine) newRun(starts []int32, seed uint64, workers int, needSeen bool)
 		}
 	}
 	if needSeen {
-		if cap(st.seen) < n {
-			st.seen = make([]uint8, n)
+		words := seenWords(n)
+		if cap(st.seen) < words {
+			st.seen = make([]uint64, words)
 		}
-		st.seen = st.seen[:n]
+		st.seen = st.seen[:words]
 		clear(st.seen)
+		if workers == 1 {
+			if cap(st.probe) < n {
+				st.probe = make([]uint8, n)
+			}
+			st.probe = st.probe[:n]
+			clear(st.probe)
+		}
 	}
 	for i, s := range starts {
 		st.pos[i] = s
@@ -329,10 +375,11 @@ func (e *Engine) newRun(starts []int32, seed uint64, workers int, needSeen bool)
 				// copy, and every logged entry is globally new by construction.
 				ws.seen = st.seen
 			} else {
-				if cap(ws.buf) < n {
-					ws.buf = make([]uint8, n)
+				words := seenWords(n)
+				if cap(ws.buf) < words {
+					ws.buf = make([]uint64, words)
 				}
-				ws.buf = ws.buf[:n]
+				ws.buf = ws.buf[:words]
 				ws.seen = ws.buf
 			}
 			if ws.log == nil {
@@ -495,17 +542,41 @@ func (e *Engine) stepRound(st *runState, lo, hi int, t int64) {
 	}
 }
 
-// logNewVisits folds one round's frontier into a shard's seen set, logging
-// first visits; it is the cover observer's scan kernel (see
-// CoverObserver.scan for the branchless-loop rationale).
-func logNewVisits(pos []int32, seen []uint8, log []visitEntry, t int64) []visitEntry {
+// logNewVisits folds one round's frontier into a shard's word-packed seen
+// set, logging first visits; it is the sharded cover observer's scan
+// kernel.
+func logNewVisits(pos []int32, seen []uint64, log []visitEntry, t int64) []visitEntry {
+	log = slices.Grow(log, len(pos))
+	buf := log[:cap(log)]
+	c := len(log)
+	for _, p := range pos {
+		w := seen[uint32(p)>>6]
+		bit := uint64(1) << (uint(p) & 63)
+		buf[c] = visitEntry{t: t, v: p}
+		c += int(w>>(uint(p)&63))&1 ^ 1
+		seen[uint32(p)>>6] = w | bit
+	}
+	return buf[:c]
+}
+
+// logNewVisitsBytes is the lone-worker variant of logNewVisits probing a
+// byte array. The loop is branchless — the entry is written unconditionally
+// and the cursor advances by the complement of the seen byte — because
+// mid-coverage the "already seen?" branch is a coin flip and the
+// mispredictions would dominate the scan. Byte probes beat word-packed
+// probes here: consecutive walkers landing in the same 64-vertex word chain
+// read-modify-write stalls that byte-granular stores sidestep (measured
+// ~25% slower end-to-end on the k=64 expander cover when this loop probes
+// the packed set directly), so the lone worker keeps a flat byte probe and
+// the word-packed set stays the merge-side representation.
+func logNewVisitsBytes(pos []int32, probe []uint8, log []visitEntry, t int64) []visitEntry {
 	log = slices.Grow(log, len(pos))
 	buf := log[:cap(log)]
 	c := len(log)
 	for _, p := range pos {
 		buf[c] = visitEntry{t: t, v: p}
-		c += 1 - int(seen[p])
-		seen[p] = 1
+		c += 1 - int(probe[p])
+		probe[p] = 1
 	}
 	return buf[:c]
 }
@@ -659,13 +730,24 @@ func (e *Engine) runCover(st *runState, spec RunSpec, cov *CoverObserver) RunRes
 		b := st.batchFor(t0, spec.MaxRounds)
 		cov.preBatch(st)
 		st.each(func(w int, ws *worker) {
+			// The mode branch lives outside the round loop so each round
+			// pays one direct call into its scan kernel — the shape the
+			// compiler kept when CoverObserver.scan was still inlinable.
+			if cov.sharedSeen {
+				for j := 0; j < b; j++ {
+					t := t0 + int64(j) + 1
+					e.stepRound(st, ws.lo, ws.hi, t)
+					ws.log = logNewVisitsBytes(st.pos[ws.lo:ws.hi], cov.probe, ws.log, t)
+					if early > 0 && cov.count+len(ws.log) >= early {
+						return
+					}
+				}
+				return
+			}
 			for j := 0; j < b; j++ {
 				t := t0 + int64(j) + 1
 				e.stepRound(st, ws.lo, ws.hi, t)
-				cov.scan(st, ws, w, t)
-				if early > 0 && cov.count+len(ws.log) >= early {
-					return
-				}
+				ws.log = logNewVisits(st.pos[ws.lo:ws.hi], ws.seen, ws.log, t)
 			}
 		})
 		cov.beginMerge(st, b, t0)

@@ -78,6 +78,29 @@ func BenchmarkKCoverEngineSeq(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateKCoverTime measures the whole Monte Carlo estimator —
+// the paper-facing workload behind every Table-1 number — at the pinned
+// shape: the Table-1 expander (n=576), k=64 walkers, 256 trials, one
+// worker. The acceptance target of the trial-fused driver is >=2x
+// trials/sec against the sequential-trials baseline at this exact shape.
+func BenchmarkEstimateKCoverTime(b *testing.B) {
+	g := graph.MargulisExpander(24)
+	const trials = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := EstimateKCoverTime(g, 0, benchK, MCOptions{
+			Trials:   trials,
+			Workers:  1,
+			Seed:     uint64(i),
+			MaxSteps: 1 << 20,
+		})
+		if err != nil || est.Truncated != 0 {
+			b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}
+
 // hitBenchSetup builds the marked-vertex search workload shared by the
 // KHit benchmarks: 64 walkers at vertex 0 of the Table-1 expander hunting
 // a sparse marked set.
@@ -158,4 +181,25 @@ func BenchmarkKWalkThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEstimateCoverTimeK1 tracks the single-walker estimator shape
+// (hitting-time-style lanes of one walker each), where trial fusion must
+// not regress the short-lane bookkeeping.
+func BenchmarkEstimateCoverTimeK1(b *testing.B) {
+	g := graph.MargulisExpander(24)
+	const trials = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := EstimateCoverTime(g, 0, MCOptions{
+			Trials:   trials,
+			Workers:  1,
+			Seed:     uint64(i),
+			MaxSteps: 1 << 24,
+		})
+		if err != nil || est.Truncated != 0 {
+			b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 }

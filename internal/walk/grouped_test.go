@@ -1,0 +1,445 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// groupedTestFamilies returns the small graph set the equivalence tests
+// sweep: a cycle (slow mixing), an expander (the Table-1 family), and a
+// barbell (bottlenecked, high max degree).
+func groupedTestFamilies() []struct {
+	name  string
+	build func() (*graph.Graph, int32)
+} {
+	return []struct {
+		name  string
+		build func() (*graph.Graph, int32)
+	}{
+		{"cycle64", func() (*graph.Graph, int32) { return graph.Cycle(64), 0 }},
+		{"expander36", func() (*graph.Graph, int32) { return graph.MargulisExpander(6), 0 }},
+		{"barbell33", func() (*graph.Graph, int32) { g, c := graph.Barbell(33); return g, c }},
+	}
+}
+
+// TestFusedMatchesSequentialTrials is the determinism contract that makes
+// the estimator rewire safe: for every kernel, graph family, and a
+// Workers × BatchRounds grid, the per-trial samples of RunGrouped are
+// bit-for-bit equal to running each trial sequentially through the
+// engine with the MonteCarlo stream derivation.
+func TestFusedMatchesSequentialTrials(t *testing.T) {
+	const (
+		trials = 24
+		k      = 9 // >= minFusedLaneWalkers, so uniform kernels pin the fused pair-table path (with a sub-64 tail chunk)
+		seed   = 99
+		budget = int64(4000)
+	)
+	for _, fam := range groupedTestFamilies() {
+		g, start := fam.build()
+		for _, kern := range Kernels() {
+			for _, workers := range []int{1, 3} {
+				for _, batch := range []int{0, 5} {
+					name := fmt.Sprintf("%s/%s/w%d/b%d", fam.name, kern, workers, batch)
+					t.Run(name, func(t *testing.T) {
+						eng := NewEngine(g, EngineOptions{Workers: 1, BatchRounds: batch, Kernel: kern})
+						starts := commonStarts(start, k)
+						// Sequential reference: one engine run per trial,
+						// seeded the way MonteCarlo seeds its closures.
+						wantRounds := make([]int64, trials)
+						wantStopped := make([]bool, trials)
+						for i := 0; i < trials; i++ {
+							r := rng.NewStream(seed, uint64(i))
+							res := eng.KCover(starts, r.Uint64(), budget)
+							wantRounds[i], wantStopped[i] = res.Steps, res.Covered
+						}
+						got, err := eng.RunGrouped(GroupedRunSpec{
+							Trials:    trials,
+							Starts:    starts,
+							Seed:      seed,
+							MaxRounds: budget,
+							Workers:   workers,
+						}, NewGroupCoverObserver(0))
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := 0; i < trials; i++ {
+							if got.Rounds[i] != wantRounds[i] || got.Stopped[i] != wantStopped[i] {
+								t.Fatalf("trial %d: grouped (%d,%v) != sequential (%d,%v)",
+									i, got.Rounds[i], got.Stopped[i], wantRounds[i], wantStopped[i])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestGroupedGenericMatchesFused pins the two grouped step paths against
+// each other: disabling the pair table must not change a single sample.
+func TestGroupedGenericMatchesFused(t *testing.T) {
+	const (
+		trials = 32
+		k      = 12 // wide enough for the fused path on every family
+		budget = int64(4000)
+	)
+	for _, fam := range groupedTestFamilies() {
+		t.Run(fam.name, func(t *testing.T) {
+			g, start := fam.build()
+			spec := GroupedRunSpec{
+				Trials:    trials,
+				Starts:    commonStarts(start, k),
+				Seed:      7,
+				MaxRounds: budget,
+			}
+			fusedEng := NewEngine(g, EngineOptions{Workers: 1})
+			fusedEng.buildPairTable()
+			if !fusedEng.pair.ok {
+				t.Fatalf("pair table unexpectedly unavailable")
+			}
+			fused, err := fusedEng.RunGrouped(spec, NewGroupCoverObserver(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericEng := NewEngine(g, EngineOptions{Workers: 1})
+			genericEng.pair.once.Do(func() {}) // leave pair.ok false: force the generic path
+			generic, err := genericEng.RunGrouped(spec, NewGroupCoverObserver(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < trials; i++ {
+				if fused.Rounds[i] != generic.Rounds[i] || fused.Stopped[i] != generic.Stopped[i] {
+					t.Fatalf("trial %d: fused (%d,%v) != generic (%d,%v)",
+						i, fused.Rounds[i], fused.Stopped[i], generic.Rounds[i], generic.Stopped[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedHitMatchesSequential pins the grouped hit lanes against
+// sequential KHit runs, including hit vertex and walker tie-breaks.
+func TestGroupedHitMatchesSequential(t *testing.T) {
+	const (
+		trials = 32
+		k      = 3
+		budget = int64(1 << 14)
+	)
+	for _, fam := range groupedTestFamilies() {
+		t.Run(fam.name, func(t *testing.T) {
+			g, start := fam.build()
+			marked := make([]bool, g.N())
+			for v := 3; v < g.N(); v += 7 {
+				marked[v] = true
+			}
+			eng := NewEngine(g, EngineOptions{Workers: 1})
+			starts := commonStarts(start, k)
+			hit := NewGroupHitObserver(marked)
+			got, err := eng.RunGrouped(GroupedRunSpec{
+				Trials:    trials,
+				Starts:    starts,
+				Seed:      5,
+				MaxRounds: budget,
+				Workers:   2,
+			}, hit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < trials; i++ {
+				r := rng.NewStream(5, uint64(i))
+				want := eng.KHit(starts, marked, r.Uint64(), budget)
+				gotRes := hit.TrialResult(i, got.Rounds[i])
+				if gotRes != want {
+					t.Fatalf("trial %d: grouped %+v != sequential %+v", i, gotRes, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedCollisionMatchesSequential pins grouped meeting and
+// coalescence lanes against the sequential collision observer.
+func TestGroupedCollisionMatchesSequential(t *testing.T) {
+	const (
+		trials = 24
+		budget = int64(1 << 14)
+	)
+	for _, fam := range groupedTestFamilies() {
+		g, _ := fam.build()
+		n := g.N()
+		starts := []int32{0, int32(n / 3), int32(2 * n / 3), int32(n - 1)}
+		for _, coalesce := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/coalesce=%v", fam.name, coalesce), func(t *testing.T) {
+				eng := NewEngine(g, EngineOptions{Workers: 1})
+				col := NewGroupCollisionObserver(coalesce)
+				got, err := eng.RunGrouped(GroupedRunSpec{
+					Trials:    trials,
+					Starts:    starts,
+					Seed:      11,
+					MaxRounds: budget,
+					Workers:   3,
+				}, col)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < trials; i++ {
+					r := rng.NewStream(11, uint64(i))
+					if coalesce {
+						want, err := eng.KCoalescenceTime(starts, r.Uint64(), budget)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Rounds[i] != want.Rounds || got.Stopped[i] != want.Coalesced ||
+							col.TrialMeetRound(i) != want.FirstMeeting || col.TrialGroups(i) != want.Groups {
+							t.Fatalf("trial %d: grouped (%d,%v,meet %d,groups %d) != sequential %+v",
+								i, got.Rounds[i], got.Stopped[i], col.TrialMeetRound(i), col.TrialGroups(i), want)
+						}
+					} else {
+						want, err := eng.KMeetingTime(starts, r.Uint64(), budget)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Rounds[i] != want.Rounds || got.Stopped[i] != want.Met {
+							t.Fatalf("trial %d: grouped (%d,%v) != sequential %+v",
+								i, got.Rounds[i], got.Stopped[i], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGroupedPlaceMatchesSequential pins the Place derivation (the
+// stationary-starts estimator shape): placement draws and the engine seed
+// must come off the trial stream exactly as the sequential closure draws
+// them.
+func TestGroupedPlaceMatchesSequential(t *testing.T) {
+	g := graph.MargulisExpander(6)
+	const (
+		trials = 16
+		k      = 4
+		budget = int64(4000)
+	)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	cov := NewGroupCoverObserver(0)
+	got, err := eng.RunGrouped(GroupedRunSpec{
+		Trials: trials,
+		Starts: make([]int32, k),
+		Place: func(_ int, r *rng.Source, starts []int32) {
+			copy(starts, StationaryStarts(g, k, r))
+		},
+		Seed:      21,
+		MaxRounds: budget,
+	}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		r := rng.NewStream(21, uint64(i))
+		starts := StationaryStarts(g, k, r)
+		want := eng.KCover(starts, r.Uint64(), budget)
+		if got.Rounds[i] != want.Steps || got.Stopped[i] != want.Covered {
+			t.Fatalf("trial %d: grouped (%d,%v) != sequential (%d,%v)",
+				i, got.Rounds[i], got.Stopped[i], want.Steps, want.Covered)
+		}
+	}
+}
+
+// TestGroupedFirstVisitsMatchSequential pins the RecordFirst export (the
+// coverage-profile sampler) against KFirstVisits.
+func TestGroupedFirstVisitsMatchSequential(t *testing.T) {
+	g, start := graph.Cycle(48), int32(5)
+	const (
+		trials  = 12
+		k       = 3
+		horizon = int64(600)
+	)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	starts := commonStarts(start, k)
+	cov := &GroupCoverObserver{RecordFirst: true}
+	_, err := eng.RunGrouped(GroupedRunSpec{
+		Trials:    trials,
+		Starts:    starts,
+		Seed:      3,
+		MaxRounds: horizon,
+	}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		r := rng.NewStream(3, uint64(i))
+		want := eng.KFirstVisits(starts, r.Uint64(), horizon)
+		got := cov.TrialFirstVisits(i)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d vertex %d: first visit %d != %d", i, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestGroupedTruncationMatchesSequential pins truncation accounting on the
+// fused path: under a budget too small to cover, every kernel must
+// produce the same censored values and truncation pattern as the
+// sequential path (the satellite case: a small-budget cycle).
+func TestGroupedTruncationMatchesSequential(t *testing.T) {
+	g := graph.Cycle(96)
+	const (
+		trials = 24
+		k      = 2
+		budget = int64(40) // below even the no-backtrack n/2 sweep: trials truncate
+	)
+	for _, kern := range Kernels() {
+		t.Run(kern.String(), func(t *testing.T) {
+			eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: kern})
+			starts := commonStarts(0, k)
+			got, err := eng.RunGrouped(GroupedRunSpec{
+				Trials:    trials,
+				Starts:    starts,
+				Seed:      17,
+				MaxRounds: budget,
+			}, NewGroupCoverObserver(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			truncated := 0
+			for i := 0; i < trials; i++ {
+				r := rng.NewStream(17, uint64(i))
+				want := eng.KCover(starts, r.Uint64(), budget)
+				if got.Rounds[i] != want.Steps || got.Stopped[i] != want.Covered {
+					t.Fatalf("trial %d: grouped (%d,%v) != sequential (%d,%v)",
+						i, got.Rounds[i], got.Stopped[i], want.Steps, want.Covered)
+				}
+				if !got.Stopped[i] {
+					truncated++
+					if got.Rounds[i] != budget {
+						t.Fatalf("trial %d: truncated at %d, want censoring at %d", i, got.Rounds[i], budget)
+					}
+				}
+			}
+			if truncated == 0 {
+				t.Fatalf("budget %d unexpectedly covered all trials; test needs a tighter budget", budget)
+			}
+		})
+	}
+}
+
+// TestGroupedChunking pins that chunked execution (more trials than
+// concurrent lanes) yields the same samples as one big pass.
+func TestGroupedChunking(t *testing.T) {
+	g := graph.MargulisExpander(6)
+	const budget = int64(4000)
+	// k large enough that maxGroupWalkers forces multiple chunks at 96
+	// trials: 96 lanes x 200 walkers = 19200 > 16384.
+	const k, trials = 200, 96
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	starts := commonStarts(0, k)
+	got, err := eng.RunGrouped(GroupedRunSpec{
+		Trials:    trials,
+		Starts:    starts,
+		Seed:      31,
+		MaxRounds: budget,
+	}, NewGroupCoverObserver(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes := groupChunkLanes(trials, k, g.N()); lanes >= trials {
+		t.Fatalf("test shape no longer chunks: %d lanes for %d trials", lanes, trials)
+	}
+	for i := 0; i < trials; i++ {
+		r := rng.NewStream(31, uint64(i))
+		want := eng.KCover(starts, r.Uint64(), budget)
+		if got.Rounds[i] != want.Steps || got.Stopped[i] != want.Covered {
+			t.Fatalf("trial %d: grouped (%d,%v) != sequential (%d,%v)",
+				i, got.Rounds[i], got.Stopped[i], want.Steps, want.Covered)
+		}
+	}
+}
+
+// TestGroupedValidation pins the descriptive errors of the grouped spec.
+func TestGroupedValidation(t *testing.T) {
+	g := graph.Cycle(16)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	cov := NewGroupCoverObserver(0)
+	cases := []struct {
+		name string
+		spec GroupedRunSpec
+	}{
+		{"no trials", GroupedRunSpec{Starts: []int32{0}, MaxRounds: 10}},
+		{"no walkers", GroupedRunSpec{Trials: 1, MaxRounds: 10}},
+		{"no budget", GroupedRunSpec{Trials: 1, Starts: []int32{0}}},
+		{"budget too large", GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: maxGroupedRounds + 1}},
+		{"bad start", GroupedRunSpec{Trials: 1, Starts: []int32{99}, MaxRounds: 10}},
+		{"seeds length", GroupedRunSpec{Trials: 2, Starts: []int32{0}, MaxRounds: 10, Seeds: []uint64{1}}},
+		{"seeds and place", GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: 10,
+			Seeds: []uint64{1}, Place: func(int, *rng.Source, []int32) {}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := eng.RunGrouped(c.spec, cov); err == nil {
+				t.Fatalf("expected error for %s", c.name)
+			}
+		})
+	}
+	if _, err := eng.RunGrouped(GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: 10}); err == nil {
+		t.Fatal("expected error for empty observer set")
+	}
+}
+
+// TestGroupedPartialTargetExportExact pins finishLane's exact-at-stop
+// export: with a partial count target, the fused path's one-pass overshoot
+// must not leak into TrialCount or TrialFirstVisits — both paths and the
+// sequential engine must agree on the state at the stop round.
+func TestGroupedPartialTargetExportExact(t *testing.T) {
+	g := graph.MargulisExpander(6)
+	const (
+		trials = 16
+		k      = 12 // fused path
+		budget = int64(4000)
+	)
+	target := g.N() / 2
+	spec := GroupedRunSpec{
+		Trials:    trials,
+		Starts:    commonStarts(0, k),
+		Seed:      13,
+		MaxRounds: budget,
+	}
+	fusedEng := NewEngine(g, EngineOptions{Workers: 1})
+	fcov := &GroupCoverObserver{Target: target, RecordFirst: true}
+	fres, err := fusedEng.RunGrouped(spec, fcov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genericEng := NewEngine(g, EngineOptions{Workers: 1})
+	genericEng.pair.once.Do(func() {}) // force the generic path
+	gcov := &GroupCoverObserver{Target: target, RecordFirst: true}
+	gres, err := genericEng.RunGrouped(spec, gcov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		r := rng.NewStream(13, uint64(i))
+		want := fusedEng.KCoverTarget(spec.Starts, target, r.Uint64(), budget)
+		if fres.Rounds[i] != want.Steps || fres.Stopped[i] != want.Covered {
+			t.Fatalf("trial %d: fused (%d,%v) != sequential (%d,%v)",
+				i, fres.Rounds[i], fres.Stopped[i], want.Steps, want.Covered)
+		}
+		if fres.Rounds[i] != gres.Rounds[i] || fcov.TrialCount(i) != gcov.TrialCount(i) {
+			t.Fatalf("trial %d: fused count %d@%d != generic %d@%d",
+				i, fcov.TrialCount(i), fres.Rounds[i], gcov.TrialCount(i), gres.Rounds[i])
+		}
+		ff, gf := fcov.TrialFirstVisits(i), gcov.TrialFirstVisits(i)
+		for v := range ff {
+			if ff[v] != gf[v] {
+				t.Fatalf("trial %d vertex %d: fused first %d != generic %d", i, v, ff[v], gf[v])
+			}
+			if ff[v] > fres.Rounds[i] {
+				t.Fatalf("trial %d vertex %d: first visit %d past stop round %d", i, v, ff[v], fres.Rounds[i])
+			}
+		}
+	}
+}

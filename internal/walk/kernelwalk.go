@@ -245,11 +245,19 @@ func EstimateKernelKCoverTime(g *graph.Graph, kern Kernel, start int32, k int, o
 	if err := checkStarts(g, []int32{start}); err != nil {
 		return Estimate{}, err
 	}
+	opts, err := opts.normalized()
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Trials fuse into one grouped pass (the generic lane driver steps
+	// every kernel; uniform pad-table graphs take the pair-table fast
+	// path).
 	eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: kern})
-	return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
-		res := eng.KCoverFrom(start, k, r.Uint64(), opts.MaxSteps)
-		return float64(res.Steps), res.Covered
-	})
+	res, err := runCoverTrials(eng, opts, commonStarts(start, k), 0, nil)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
 }
 
 // EstimateKernelHittingTime estimates h(start, target) under kernel k by
@@ -265,11 +273,16 @@ func EstimateKernelHittingTime(g *graph.Graph, k Kernel, start, target int32, op
 	if err := checkStarts(g, []int32{start, target}); err != nil {
 		return Estimate{}, err
 	}
+	opts, err := opts.normalized()
+	if err != nil {
+		return Estimate{}, err
+	}
 	eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: k})
 	marked := make([]bool, g.N())
 	marked[target] = true
-	return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
-		res := eng.KHit([]int32{start}, marked, r.Uint64(), opts.MaxSteps)
-		return float64(res.Rounds), res.Hit
-	})
+	res, err := runHitTrials(eng, opts, []int32{start}, marked)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
 }

@@ -48,7 +48,17 @@ func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]fl
 		return nil, err
 	}
 	results := make([]float64, opts.Trials)
-	trials := make(chan int)
+	// The channel is buffered to Trials and filled (and closed) before any
+	// worker starts: the producer never blocks, workers never wait on a
+	// handoff, and tiny-trial runs skip the producer/consumer context
+	// switches an unbuffered channel would cost per trial. Result ordering
+	// and stream derivation are unchanged — trial t still runs on
+	// rng.NewStream(Seed, t) and writes results[t].
+	trials := make(chan int, opts.Trials)
+	for t := 0; t < opts.Trials; t++ {
+		trials <- t
+	}
+	close(trials)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -59,10 +69,6 @@ func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]fl
 			}
 		}()
 	}
-	for t := 0; t < opts.Trials; t++ {
-		trials <- t
-	}
-	close(trials)
 	wg.Wait()
 	return results, nil
 }
@@ -95,36 +101,72 @@ func (e Estimate) Mean() float64 { return e.Summary.Mean }
 // CI95 is shorthand for Summary.CI95().
 func (e Estimate) CI95() float64 { return e.Summary.CI95() }
 
-// EstimateCoverTime estimates the expected single-walk cover time from
-// start. Trials run on the batched engine (k = 1), one sequential engine
-// run per Monte Carlo worker.
-func EstimateCoverTime(g *graph.Graph, start int32, opts MCOptions) (Estimate, error) {
-	if !g.IsConnected() {
-		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
+// runCoverTrials runs opts.Trials independent k-walk cover runs on eng —
+// trial-fused through RunGrouped when the budget allows, else sequentially
+// through MonteCarlo with the identical stream derivation — and returns
+// every trial's (rounds, covered) outcome. target 0 selects full cover.
+// The two paths are bit-for-bit interchangeable (pinned by
+// TestFusedMatchesSequentialTrials).
+func runCoverTrials(eng *Engine, opts MCOptions, starts []int32, target int, place func(int, *rng.Source, []int32)) (GroupedResult, error) {
+	if opts.MaxSteps <= maxGroupedRounds {
+		return eng.RunGrouped(GroupedRunSpec{
+			Trials:    opts.Trials,
+			Starts:    starts,
+			Place:     place,
+			Seed:      opts.Seed,
+			MaxRounds: opts.MaxSteps,
+			Workers:   opts.Workers,
+		}, NewGroupCoverObserver(target))
 	}
-	if err := checkStarts(g, []int32{start}); err != nil {
-		return Estimate{}, err
-	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	var mu sync.Mutex
-	truncated := 0
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := eng.KCoverFrom(start, 1, r.Uint64(), opts.MaxSteps)
-		if !res.Covered {
-			mu.Lock()
-			truncated++
-			mu.Unlock()
+	res := GroupedResult{Rounds: make([]int64, opts.Trials), Stopped: make([]bool, opts.Trials)}
+	_, err := MonteCarlo(opts, func(t int, r *rng.Source) float64 {
+		st := starts
+		if place != nil {
+			st = make([]int32, len(starts))
+			copy(st, starts)
+			place(t, r, st)
 		}
-		return float64(res.Steps)
+		var cr CoverResult
+		if target == 0 {
+			cr = eng.KCover(st, r.Uint64(), opts.MaxSteps)
+		} else {
+			cr = eng.KCoverTarget(st, target, r.Uint64(), opts.MaxSteps)
+		}
+		res.Rounds[t] = cr.Steps
+		res.Stopped[t] = cr.Covered
+		return 0
 	})
-	if err != nil {
-		return Estimate{}, err
+	return res, err
+}
+
+// estimateFromTrials summarizes per-trial rounds with truncation
+// accounting: trials that exhausted the budget are censored at their
+// recorded rounds (the budget) and counted, exactly like the sequential
+// estimators.
+func estimateFromTrials(res GroupedResult) Estimate {
+	samples := make([]float64, len(res.Rounds))
+	truncated := 0
+	for i, r := range res.Rounds {
+		samples[i] = float64(r)
+		if !res.Stopped[i] {
+			truncated++
+		}
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}
+}
+
+// EstimateCoverTime estimates the expected single-walk cover time from
+// start. Trials run as one trial-fused engine pass (RunGrouped) on the
+// batched engine.
+func EstimateCoverTime(g *graph.Graph, start int32, opts MCOptions) (Estimate, error) {
+	return EstimateKCoverTime(g, start, 1, opts)
 }
 
 // EstimateKCoverTime estimates the expected k-walk cover time (in rounds)
-// from a common start vertex.
+// from a common start vertex. All trials run as one trial-fused engine
+// pass: Trials x k walker lanes stepped together, each trial's sample
+// bit-for-bit equal to a sequential Engine run with the MonteCarlo stream
+// derivation.
 func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Estimate, error) {
 	if k < 1 {
 		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
@@ -135,27 +177,23 @@ func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Est
 	if err := checkStarts(g, []int32{start}); err != nil {
 		return Estimate{}, err
 	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	var mu sync.Mutex
-	truncated := 0
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := eng.KCoverFrom(start, k, r.Uint64(), opts.MaxSteps)
-		if !res.Covered {
-			mu.Lock()
-			truncated++
-			mu.Unlock()
-		}
-		return float64(res.Steps)
-	})
+	opts, err := opts.normalized()
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	res, err := runCoverTrials(eng, opts, commonStarts(start, k), 0, nil)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
 }
 
 // EstimateKCoverTimeStationary estimates the k-walk cover time with the k
 // walkers started at fresh stationary samples each trial — the variant
-// discussed in the paper's §1.1 comparison with Broder et al.
+// discussed in the paper's §1.1 comparison with Broder et al. The
+// placement draws come off each trial's stream exactly as the sequential
+// path drew them, so fusion changes no sample.
 func EstimateKCoverTimeStationary(g *graph.Graph, k int, opts MCOptions) (Estimate, error) {
 	if k < 1 {
 		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
@@ -163,27 +201,25 @@ func EstimateKCoverTimeStationary(g *graph.Graph, k int, opts MCOptions) (Estima
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: cover time diverges on disconnected graphs")
 	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	var mu sync.Mutex
-	truncated := 0
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		starts := StationaryStarts(g, k, r)
-		res := eng.KCover(starts, r.Uint64(), opts.MaxSteps)
-		if !res.Covered {
-			mu.Lock()
-			truncated++
-			mu.Unlock()
-		}
-		return float64(res.Steps)
-	})
+	opts, err := opts.normalized()
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	res, err := runCoverTrials(eng, opts, make([]int32, k), 0,
+		func(_ int, r *rng.Source, starts []int32) {
+			copy(starts, StationaryStarts(g, k, r))
+		})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
 }
 
 // EstimateHittingTime estimates h(start, target) by simulation; it is used
-// to cross-validate the exact fundamental-matrix solver on mid-size graphs.
+// to cross-validate the exact fundamental-matrix solver on mid-size
+// graphs. Trials run as one trial-fused engine pass of single-walker
+// lanes.
 func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (Estimate, error) {
 	if !g.IsConnected() {
 		return Estimate{}, fmt.Errorf("walk: hitting time diverges on disconnected graphs")
@@ -191,28 +227,44 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 	if err := checkStarts(g, []int32{start, target}); err != nil {
 		return Estimate{}, err
 	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	marked := make([]bool, g.N())
-	marked[target] = true
-	var mu sync.Mutex
-	truncated := 0
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := eng.KHit([]int32{start}, marked, r.Uint64(), opts.MaxSteps)
-		if !res.Hit {
-			mu.Lock()
-			truncated++
-			mu.Unlock()
-		}
-		return float64(res.Rounds)
-	})
+	opts, err := opts.normalized()
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}, nil
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	marked := make([]bool, g.N())
+	marked[target] = true
+	res, err := runHitTrials(eng, opts, []int32{start}, marked)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
+}
+
+// runHitTrials is runCoverTrials' counterpart for marked-vertex searches.
+func runHitTrials(eng *Engine, opts MCOptions, starts []int32, marked []bool) (GroupedResult, error) {
+	if opts.MaxSteps <= maxGroupedRounds {
+		return eng.RunGrouped(GroupedRunSpec{
+			Trials:    opts.Trials,
+			Starts:    starts,
+			Seed:      opts.Seed,
+			MaxRounds: opts.MaxSteps,
+			Workers:   opts.Workers,
+		}, NewGroupHitObserver(marked))
+	}
+	res := GroupedResult{Rounds: make([]int64, opts.Trials), Stopped: make([]bool, opts.Trials)}
+	_, err := MonteCarlo(opts, func(t int, r *rng.Source) float64 {
+		hr := eng.KHit(starts, marked, r.Uint64(), opts.MaxSteps)
+		res.Rounds[t] = hr.Rounds
+		res.Stopped[t] = hr.Hit
+		return 0
+	})
+	return res, err
 }
 
 // CoverTimeTail estimates Pr[τ > t] for the provided horizon t by running
-// fresh trials; used by the Aldous-concentration experiment (Theorem 17).
+// fresh trials — one trial-fused pass — as used by the
+// Aldous-concentration experiment (Theorem 17).
 func CoverTimeTail(g *graph.Graph, start int32, horizon int64, opts MCOptions) (float64, error) {
 	if horizon <= 0 {
 		return 0, fmt.Errorf("walk: horizon must be > 0")
@@ -220,16 +272,21 @@ func CoverTimeTail(g *graph.Graph, start int32, horizon int64, opts MCOptions) (
 	if err := checkStarts(g, []int32{start}); err != nil {
 		return 0, err
 	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	samples, err := MonteCarlo(opts, func(_ int, r *rng.Source) float64 {
-		res := eng.KCoverFrom(start, 1, r.Uint64(), horizon)
-		if res.Covered {
-			return 0
-		}
-		return 1
-	})
+	opts.MaxSteps = horizon
+	opts, err := opts.normalized()
 	if err != nil {
 		return 0, err
+	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	res, err := runCoverTrials(eng, opts, []int32{start}, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	samples := make([]float64, opts.Trials)
+	for i, covered := range res.Stopped {
+		if !covered {
+			samples[i] = 1
+		}
 	}
 	return stats.Summarize(samples).Mean, nil
 }

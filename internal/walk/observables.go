@@ -240,14 +240,32 @@ func EstimateKMeetingTime(g *graph.Graph, starts []int32, opts MCOptions) (Estim
 	if len(starts) < 2 {
 		return Estimate{}, fmt.Errorf("walk: meeting time requires at least 2 walkers, got %d", len(starts))
 	}
+	opts, err := opts.normalized()
+	if err != nil {
+		return Estimate{}, err
+	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
-	return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
-		res, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
-		if err != nil {
-			panic(err.Error()) // validated above; unreachable
-		}
-		return float64(res.Rounds), res.Met
-	})
+	if opts.MaxSteps > maxGroupedRounds {
+		return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
+			res, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
+			if err != nil {
+				panic(err.Error()) // validated above; unreachable
+			}
+			return float64(res.Rounds), res.Met
+		})
+	}
+	// Trial-fused pass: every trial is one collision lane.
+	res, err := eng.RunGrouped(GroupedRunSpec{
+		Trials:    opts.Trials,
+		Starts:    starts,
+		Seed:      opts.Seed,
+		MaxRounds: opts.MaxSteps,
+		Workers:   opts.Workers,
+	}, NewGroupCollisionObserver(false))
+	if err != nil {
+		return Estimate{}, err
+	}
+	return estimateFromTrials(res), nil
 }
 
 // EstimateKCoalescenceTime estimates the expected full-coalescence round
@@ -263,30 +281,59 @@ func EstimateKCoalescenceTime(g *graph.Graph, starts []int32, opts MCOptions) (c
 	if len(starts) < 2 {
 		return Estimate{}, Estimate{}, fmt.Errorf("walk: coalescence time requires at least 2 walkers, got %d", len(starts))
 	}
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	meets := make([]float64, opts.Trials)
-	var mu sync.Mutex
-	meetTruncated := 0
-	coalesce, err = kernelEstimate(opts, func(trial int, r *rng.Source) (float64, bool) {
-		res, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
-		if err != nil {
-			panic(err.Error()) // validated above; unreachable
-		}
-		m := res.FirstMeeting
-		if m < 0 {
-			m = opts.MaxSteps
-			mu.Lock()
-			meetTruncated++
-			mu.Unlock()
-		}
-		meets[trial] = float64(m)
-		return float64(res.Rounds), res.Coalesced
-	})
+	opts, err = opts.normalized()
 	if err != nil {
 		return Estimate{}, Estimate{}, err
 	}
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	meets := make([]float64, opts.Trials)
+	meetTruncated := 0
+	if opts.MaxSteps > maxGroupedRounds {
+		var mu sync.Mutex
+		coalesce, err = kernelEstimate(opts, func(trial int, r *rng.Source) (float64, bool) {
+			res, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
+			if err != nil {
+				panic(err.Error()) // validated above; unreachable
+			}
+			m := res.FirstMeeting
+			if m < 0 {
+				m = opts.MaxSteps
+				mu.Lock()
+				meetTruncated++
+				mu.Unlock()
+			}
+			meets[trial] = float64(m)
+			return float64(res.Rounds), res.Coalesced
+		})
+		if err != nil {
+			return Estimate{}, Estimate{}, err
+		}
+		meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
+		return coalesce, meet, nil
+	}
+	// Trial-fused pass: coalescence lanes also record each trial's first
+	// meeting round, so both estimates come from the same fused run.
+	col := NewGroupCollisionObserver(true)
+	res, err := eng.RunGrouped(GroupedRunSpec{
+		Trials:    opts.Trials,
+		Starts:    starts,
+		Seed:      opts.Seed,
+		MaxRounds: opts.MaxSteps,
+		Workers:   opts.Workers,
+	}, col)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	for trial := range meets {
+		m := col.TrialMeetRound(trial)
+		if m < 0 {
+			m = opts.MaxSteps
+			meetTruncated++
+		}
+		meets[trial] = float64(m)
+	}
 	meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
-	return coalesce, meet, nil
+	return estimateFromTrials(res), meet, nil
 }
 
 // MeanPartialCoverRounds estimates, per cover fraction, the expected round
@@ -380,15 +427,17 @@ func MeanCoverageProfile(g *graph.Graph, start int32, k int, horizon int64, opts
 	}
 	// Each trial derives its profile from the engine's first-visit rounds:
 	// the coverage count after round t is the number of vertices whose
-	// first visit is at most t.
-	eng := NewEngine(g, EngineOptions{Workers: 1})
-	starts := make([]int32, k)
-	for i := range starts {
-		starts[i] = start
+	// first visit is at most t. Trials run as one trial-fused pass with
+	// first-visit recording; over-cap horizons fall back to sequential
+	// runs.
+	opts.MaxSteps = horizon
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
-	profiles := make([][]int, opts.Trials)
-	_, err := MonteCarlo(opts, func(trial int, r *rng.Source) float64 {
-		first := eng.KFirstVisits(starts, r.Uint64(), horizon)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	starts := commonStarts(start, k)
+	profileOf := func(first []int64) []int {
 		profile := make([]int, horizon+1)
 		for _, f := range first {
 			if f >= 0 {
@@ -398,10 +447,27 @@ func MeanCoverageProfile(g *graph.Graph, start int32, k int, horizon int64, opts
 		for t := int64(1); t <= horizon; t++ {
 			profile[t] += profile[t-1]
 		}
-		profiles[trial] = profile
+		return profile
+	}
+	profiles := make([][]int, opts.Trials)
+	if horizon <= maxGroupedRounds {
+		cov := &GroupCoverObserver{RecordFirst: true}
+		if _, err := eng.RunGrouped(GroupedRunSpec{
+			Trials:    opts.Trials,
+			Starts:    starts,
+			Seed:      opts.Seed,
+			MaxRounds: horizon,
+			Workers:   opts.Workers,
+		}, cov); err != nil {
+			return nil, err
+		}
+		for trial := range profiles {
+			profiles[trial] = profileOf(cov.TrialFirstVisits(trial))
+		}
+	} else if _, err := MonteCarlo(opts, func(trial int, r *rng.Source) float64 {
+		profiles[trial] = profileOf(eng.KFirstVisits(starts, r.Uint64(), horizon))
 		return 0
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	mean := make([]float64, horizon+1)

@@ -170,8 +170,9 @@ type CoverObserver struct {
 	countTarget int // count goal, 0 if none
 	earlyTarget int // pure-count early-exit threshold; -1 when Targets gate satisfaction
 	count       int
-	seen        []uint8 // borrowed from runState (pooled)
-	sharedSeen  bool    // single worker marks the merged set directly
+	seen        []uint64 // borrowed from runState (pooled), word-packed
+	probe       []uint8  // lone-worker byte probe (see logNewVisitsBytes)
+	sharedSeen  bool     // single worker probes bytes; its log is globally new
 	first       []int64
 	thrTargets  []int
 	thrRounds   []int64
@@ -245,6 +246,7 @@ func (o *CoverObserver) reset(e *Engine, st *runState, starts []int32) {
 	o.count = 0
 	o.satisfied = -1
 	o.seen = st.seen
+	o.probe = st.probe
 	o.sharedSeen = len(st.ws) == 1
 
 	o.countTarget = o.Target
@@ -292,8 +294,10 @@ func (o *CoverObserver) reset(e *Engine, st *runState, starts []int32) {
 	}
 
 	for _, s := range starts {
-		if o.seen[s] == 0 {
-			o.seen[s] = 1
+		if !testAndSet(o.seen, s) {
+			if o.sharedSeen {
+				o.probe[s] = 1
+			}
 			o.noteNew(s, 0)
 		}
 	}
@@ -328,11 +332,14 @@ func (o *CoverObserver) preBatch(st *runState) {
 }
 
 // scan folds one round's shard frontier into the worker's seen set,
-// logging first visits. The loop is branchless — the entry is written
-// unconditionally and the cursor advances by the complement of the seen
-// byte — because mid-coverage the "already seen?" branch is a coin flip
-// and the mispredictions would dominate the scan.
+// logging first visits: a lone worker probes the run's flat byte array
+// (logNewVisitsBytes — its log is globally new by construction), sharded
+// workers probe their private word-packed copies of the merged set.
 func (o *CoverObserver) scan(st *runState, ws *worker, _ int, t int64) {
+	if o.sharedSeen {
+		ws.log = logNewVisitsBytes(st.pos[ws.lo:ws.hi], o.probe, ws.log, t)
+		return
+	}
 	ws.log = logNewVisits(st.pos[ws.lo:ws.hi], ws.seen, ws.log, t)
 }
 
@@ -362,8 +369,7 @@ func (o *CoverObserver) mergeRound(st *runState, t int64) {
 		for c < len(log) && log[c].t == t {
 			v := log[c].v
 			c++
-			if seen[v] == 0 {
-				seen[v] = 1
+			if !testAndSet(seen, v) {
 				o.noteNew(v, t)
 			}
 		}
@@ -451,20 +457,7 @@ func (o *HitObserver) validate(n, _ int) error {
 }
 
 func (o *HitObserver) reset(e *Engine, st *runState, starts []int32) {
-	n := e.g.N()
-	words := (n + 63) / 64
-	if cap(o.bitset) < words {
-		o.bitset = make([]uint64, words)
-	}
-	o.bitset = o.bitset[:words]
-	clear(o.bitset)
-	o.none = true
-	for v, m := range o.Marked {
-		if m {
-			o.bitset[v>>6] |= 1 << uint(v&63)
-			o.none = false
-		}
-	}
+	o.bitset, o.none = compileMarkedBitset(o.Marked, o.bitset)
 	o.satisfied, o.hitRound, o.hitVertex, o.hitWalker = -1, -1, -1, -1
 	for i, s := range starts {
 		if o.Marked[s] {
@@ -623,13 +616,7 @@ func (o *CollisionObserver) reset(e *Engine, st *runState, starts []int32) {
 	}
 }
 
-func (o *CollisionObserver) find(i int32) int32 {
-	for o.parent[i] != i {
-		o.parent[i] = o.parent[o.parent[i]]
-		i = o.parent[i]
-	}
-	return i
-}
+func (o *CollisionObserver) find(i int32) int32 { return ufFind(o.parent, i) }
 
 // visit processes walker i standing on v at round t, in global walker
 // order within the round (the merge iterates shards in order, and shards

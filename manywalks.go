@@ -273,7 +273,10 @@ type MultiHitResult = walk.MultiHitResult
 type PartialCoverResult = walk.PartialCoverResult
 
 // MCOptions configures Monte Carlo estimation: Trials, Workers (0 =
-// GOMAXPROCS), root Seed, and the per-trial MaxSteps budget.
+// GOMAXPROCS), root Seed, and the per-trial MaxSteps budget. Estimator
+// trials run as one trial-fused engine pass (all trials' walkers stepped
+// together, finished trials retiring at merge barriers); results are
+// bit-for-bit identical to running the trials sequentially.
 type MCOptions = walk.MCOptions
 
 // Estimate is a Monte Carlo mean with CI and truncation accounting.
