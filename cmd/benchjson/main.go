@@ -1,8 +1,11 @@
 // Command benchjson runs the repository's pinned benchmark set in-process
 // and writes machine-readable rows, so the performance trajectory of the
-// hot paths accumulates as committed JSON snapshots (BENCH_PR4.json is the
-// first). Each row reports ns/op and, for Monte Carlo estimator shapes,
-// trials/sec — the unit the trial-fused driver is gated on.
+// hot paths accumulates as committed JSON snapshots (BENCH_PR4.json was the
+// first). Each row reports ns/op and, for Monte Carlo estimator and serving
+// shapes, trials/sec — for the serving rows that is served queries/sec, the
+// unit the coalescing dispatcher is gated on (256 concurrent clients
+// issuing k=1 hitting-time queries on the Table-1 expander, coalesced vs
+// naive per-request dispatch).
 //
 // Usage:
 //
@@ -10,13 +13,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"manywalks/internal/graph"
-	"manywalks/internal/walk"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
 )
 
 // row is one benchmark measurement.
@@ -98,11 +106,57 @@ func pinned() []struct {
 				}
 			}
 		}},
+		// Served-throughput rows: 256 concurrent clients issuing k=1
+		// hitting-time walk queries (the cmd/walkload acceptance shape);
+		// trials/sec is served queries/sec.
+		{"ServeWalkQuery/expander576_c256_coalesced", 1, servedThroughput(expander, false)},
+		{"ServeWalkQuery/expander576_c256_naive", 1, servedThroughput(expander, true)},
+	}
+}
+
+// servedThroughput benchmarks one query served through an in-process
+// serve.Server under 256 persistent concurrent clients; each op is one
+// query, so ns/op is the served per-query latency budget and trials/sec
+// (trials = 1) is queries/sec.
+func servedThroughput(g *graph.Graph, naive bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := serve.NewServer(serve.Options{NoCoalesce: naive, Workers: 1})
+		defer s.Close()
+		if err := s.RegisterGraph("g", g); err != nil {
+			b.Fatal(err)
+		}
+		query := func(seed uint64) error {
+			_, err := s.WalkQuery(context.Background(), serve.WalkQueryRequest{
+				Graph: "g", Origin: 0, K: 1, TTL: 1 << 20, Targets: []int32{300}, Seed: seed,
+			})
+			return err
+		}
+		if err := query(^uint64(0)); err != nil { // warm the engine cache untimed
+			b.Fatal(err)
+		}
+		var seed atomic.Uint64
+		var remaining atomic.Int64
+		remaining.Store(int64(b.N))
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < 256; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for remaining.Add(-1) >= 0 {
+					if err := query(seed.Add(1)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
 	flag.Parse()
 

@@ -1,0 +1,372 @@
+// Command walkd is the query-serving daemon: an HTTP+JSON front end over
+// internal/serve that answers random-walk queries and estimator requests
+// for a set of registered graphs, coalescing concurrent same-shape requests
+// into single grouped engine passes. Every answer is bit-for-bit equal to
+// the standalone library call for the same request — coalescing is pure
+// batching.
+//
+// Usage:
+//
+//	walkd [-addr :8371] [-graphs id=spec,...] [-tick 200us] [-deadline 30s]
+//	      [-max-batch 4096] [-max-pending 65536] [-cache 8] [-naive]
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/graphs    registered graphs
+//	POST /v1/query     {"graph","origin","k","ttl","targets":[...],"seed","kernel"?}
+//	POST /v1/hitting   {"graph","start","target","trials","seed","max_steps","kernel"?}
+//	POST /v1/cover     {"graph","start","k","trials","seed","max_steps","kernel"?}
+//	POST /v1/meeting   {"graph","starts":[...],"trials","seed","max_steps","kernel"?}
+//	GET  /v1/stats     served-traffic counters
+//
+// The daemon enforces per-request deadlines (-deadline), admission limits
+// (429 once the pending queue is full), and drains gracefully: on SIGINT or
+// SIGTERM it stops accepting connections, lets in-flight requests finish,
+// and flushes every queued request through a final dispatch before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
+)
+
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
+
+const defaultGraphs = "expander576=margulis:24,cycle1024=cycle:1024,torus1024=torus:32,barbell129=barbell:129"
+
+// buildServer constructs a serve.Server with the graphs of a -graphs spec
+// ("id=kind:params,...") registered.
+func buildServer(graphSpecs string, opts serve.Options) (*serve.Server, error) {
+	s := serve.NewServer(opts)
+	for _, item := range strings.Split(graphSpecs, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		id, spec, ok := strings.Cut(item, "=")
+		if !ok {
+			s.Close()
+			return nil, fmt.Errorf("graph %q: want id=spec", item)
+		}
+		g, err := graph.ParseSpec(spec)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if err := s.RegisterGraph(id, g); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// jsonError is the error envelope every failure returns.
+type jsonError struct {
+	Error string `json:"error"`
+}
+
+// estimateResponse is the JSON form of a walk.Estimate.
+type estimateResponse struct {
+	Mean      float64 `json:"mean"`
+	CI95      float64 `json:"ci95"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Trials    int     `json:"trials"`
+	Truncated int     `json:"truncated"`
+}
+
+func estimateJSON(e walk.Estimate) estimateResponse {
+	return estimateResponse{
+		Mean:      e.Summary.Mean,
+		CI95:      e.CI95(),
+		Min:       e.Summary.Min,
+		Max:       e.Summary.Max,
+		Trials:    e.Summary.N,
+		Truncated: e.Truncated,
+	}
+}
+
+// statusOf maps serving errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), jsonError{Error: err.Error()})
+}
+
+// decodeInto parses one JSON request body with a size cap.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, jsonError{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// post wraps a handler with the method check and the per-request deadline.
+func post(deadline time.Duration, fn func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, jsonError{Error: "POST only"})
+			return
+		}
+		ctx := r.Context()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		fn(ctx, w, r)
+	}
+}
+
+// kernelOf parses the optional "kernel" field.
+func kernelOf(s string) (walk.Kernel, error) {
+	if s == "" {
+		return walk.Uniform(), nil
+	}
+	return walk.ParseKernel(s)
+}
+
+// newMux wires the JSON endpoints over srv.
+func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Graphs())
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("/v1/query", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Graph   string  `json:"graph"`
+			Kernel  string  `json:"kernel"`
+			Origin  int32   `json:"origin"`
+			K       int     `json:"k"`
+			TTL     int     `json:"ttl"`
+			Targets []int32 `json:"targets"`
+			Seed    uint64  `json:"seed"`
+		}
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		kernel, err := kernelOf(req.Kernel)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		res, err := srv.WalkQuery(ctx, serve.WalkQueryRequest{
+			Graph: req.Graph, Kernel: kernel, Origin: req.Origin, K: req.K,
+			TTL: req.TTL, Targets: req.Targets, Seed: req.Seed,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"found": res.Found, "rounds": res.Rounds, "messages": res.Messages,
+		})
+	}))
+	mux.HandleFunc("/v1/hitting", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Graph    string `json:"graph"`
+			Kernel   string `json:"kernel"`
+			Start    int32  `json:"start"`
+			Target   int32  `json:"target"`
+			Trials   int    `json:"trials"`
+			Seed     uint64 `json:"seed"`
+			MaxSteps int64  `json:"max_steps"`
+		}
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		kernel, err := kernelOf(req.Kernel)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		est, err := srv.HittingTime(ctx, serve.HittingTimeRequest{
+			Graph: req.Graph, Kernel: kernel, Start: req.Start, Target: req.Target,
+			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateJSON(est))
+	}))
+	mux.HandleFunc("/v1/cover", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Graph    string `json:"graph"`
+			Kernel   string `json:"kernel"`
+			Start    int32  `json:"start"`
+			K        int    `json:"k"`
+			Trials   int    `json:"trials"`
+			Seed     uint64 `json:"seed"`
+			MaxSteps int64  `json:"max_steps"`
+		}
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		kernel, err := kernelOf(req.Kernel)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		est, err := srv.CoverTime(ctx, serve.CoverTimeRequest{
+			Graph: req.Graph, Kernel: kernel, Start: req.Start, K: req.K,
+			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateJSON(est))
+	}))
+	mux.HandleFunc("/v1/meeting", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Graph    string  `json:"graph"`
+			Kernel   string  `json:"kernel"`
+			Starts   []int32 `json:"starts"`
+			Trials   int     `json:"trials"`
+			Seed     uint64  `json:"seed"`
+			MaxSteps int64   `json:"max_steps"`
+		}
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		kernel, err := kernelOf(req.Kernel)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		est, err := srv.MeetingTime(ctx, serve.MeetingTimeRequest{
+			Graph: req.Graph, Kernel: kernel, Starts: req.Starts,
+			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateJSON(est))
+	}))
+	return mux
+}
+
+// run starts the daemon and blocks until a termination signal or listener
+// failure; tests drive buildServer/newMux directly instead.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("walkd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8371", "listen address")
+	graphs := fs.String("graphs", defaultGraphs, "registered graphs, id=spec,... (specs: cycle:n, torus:s, margulis:m, barbell:n, ...)")
+	tick := fs.Duration("tick", 200*time.Microsecond, "coalescer gather window")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-request deadline (0 disables)")
+	maxBatch := fs.Int("max-batch", 4096, "max lanes per grouped pass per shape")
+	maxPending := fs.Int("max-pending", 1<<16, "max queued lanes before 429")
+	cache := fs.Int("cache", 8, "compiled-engine cache size (graph × kernel, LRU)")
+	workers := fs.Int("workers", 0, "workers per grouped pass (0 = engine default)")
+	naive := fs.Bool("naive", false, "disable coalescing: serve each request with its own engine run")
+	drainWait := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight HTTP requests")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
+	srv, err := buildServer(*graphs, serve.Options{
+		Tick:        *tick,
+		MaxBatch:    *maxBatch,
+		MaxPending:  *maxPending,
+		EngineCache: *cache,
+		Workers:     *workers,
+		NoCoalesce:  *naive,
+	})
+	if err != nil {
+		return usage(err)
+	}
+	defer srv.Close() // final coalescer drain after the HTTP server stops
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           newMux(srv, *deadline),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(out, "walkd: draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	for _, gi := range srv.Graphs() {
+		fmt.Fprintf(out, "walkd: graph %-12s n=%-6d m=%d\n", gi.ID, gi.N, gi.M)
+	}
+	fmt.Fprintf(out, "walkd: listening on %s\n", ln.Addr())
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "walkd: served %d requests (%d grouped passes, %d lanes, %d naive)\n",
+		st.Requests, st.Passes, st.Lanes, st.Naive)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "walkd:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/netsim"
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
+)
+
+// newTestDaemon spins the daemon's HTTP stack over a small graph set.
+func newTestDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := buildServer("exp64=margulis:8,cycle32=cycle:32", serve.Options{Tick: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(srv, 10*time.Second))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonEndToEnd drives concurrent HTTP clients through /v1/query and
+// /v1/hitting and pins every answer against the standalone library calls.
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := newTestDaemon(t)
+	g := graph.MargulisExpander(8)
+	eng := walk.NewEngine(g, walk.EngineOptions{Workers: 1})
+	hasItem := make([]bool, g.N())
+	hasItem[40] = true
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for seed := uint64(0); seed < 16; seed++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			var got struct {
+				Found    bool  `json:"found"`
+				Rounds   int   `json:"rounds"`
+				Messages int64 `json:"messages"`
+			}
+			code := postJSON(t, ts.URL+"/v1/query", map[string]any{
+				"graph": "exp64", "origin": 3, "k": 2, "ttl": 4096,
+				"targets": []int32{40}, "seed": seed,
+			}, &got)
+			if code != http.StatusOK {
+				errs <- "query status"
+				return
+			}
+			want := netsim.RunWalkQueryEngine(eng, 3, 2, 4096, hasItem, seed)
+			if got.Found != want.Found || got.Rounds != want.Rounds || got.Messages != want.Messages {
+				errs <- "query mismatch"
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	var est struct {
+		Mean      float64 `json:"mean"`
+		Trials    int     `json:"trials"`
+		Truncated int     `json:"truncated"`
+	}
+	code := postJSON(t, ts.URL+"/v1/hitting", map[string]any{
+		"graph": "exp64", "start": 0, "target": 33, "trials": 10, "seed": 5, "max_steps": 1 << 16,
+	}, &est)
+	if code != http.StatusOK {
+		t.Fatalf("hitting status %d", code)
+	}
+	want, err := walk.EstimateHittingTime(g, 0, 33, walk.MCOptions{Trials: 10, Workers: 1, Seed: 5, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != want.Summary.Mean || est.Trials != 10 || est.Truncated != want.Truncated {
+		t.Fatalf("hitting mismatch: got %+v want %+v", est, want)
+	}
+}
+
+// TestDaemonStatusCodes pins the HTTP error mapping.
+func TestDaemonStatusCodes(t *testing.T) {
+	ts := newTestDaemon(t)
+	if code := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"graph": "nope", "origin": 0, "k": 1, "ttl": 8,
+	}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"graph": "cycle32", "origin": 0, "k": 0, "ttl": 8,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad k: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on query: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var graphs []serve.GraphInfo
+	resp, err = http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&graphs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(graphs) != 2 || graphs[0].ID != "cycle32" || graphs[1].N != 64 {
+		t.Fatalf("graph listing: %+v", graphs)
+	}
+}
+
+// TestBuildServerErrors pins the -graphs spec validation.
+func TestBuildServerErrors(t *testing.T) {
+	for _, bad := range []string{"noequals", "x=unknown:3", "x=cycle:zero", "x=cycle:2", "x=barbell:8"} {
+		if _, err := buildServer(bad, serve.Options{}); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	s, err := buildServer(defaultGraphs, serve.Options{})
+	if err != nil {
+		t.Fatalf("default graphs: %v", err)
+	}
+	if n := len(s.Graphs()); n != 4 {
+		t.Fatalf("default graphs registered %d", n)
+	}
+	s.Close()
+}
+
+// TestRunUsage covers the flag path of run.
+func TestRunUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-addr") {
+		t.Fatalf("-h must print usage, got %v", err)
+	}
+	if err := run([]string{"-graphs", "broken"}, &out); err == nil {
+		t.Fatal("bad -graphs accepted")
+	}
+}

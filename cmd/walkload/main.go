@@ -1,0 +1,213 @@
+// Command walkload is the concurrent load generator for the serving layer:
+// it spins up an in-process serve.Server, points many concurrent clients at
+// it with same-shape hitting-time walk queries, and measures served
+// queries/sec under the two dispatch modes — coalesced (requests folded
+// into grouped engine passes) and naive (one Engine.Run per request) — then
+// verifies every pair of answers is bit-for-bit equal.
+//
+// The default shape is the acceptance workload: 256 concurrent clients
+// issuing k=1 hitting-time queries on the Table-1 expander (margulis:24,
+// n=576).
+//
+// Usage:
+//
+//	walkload [-graph margulis:24] [-clients 256] [-queries 16] [-k 1]
+//	         [-ttl 1048576] [-targets 300] [-origin 0] [-seed 1]
+//	         [-kernel uniform] [-mode both] [-tick 200us] [-workers 1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/netsim"
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
+)
+
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
+
+// loadResult is one mode's measurement.
+type loadResult struct {
+	answers []netsim.QueryResult
+	errs    int
+	elapsed time.Duration
+	stats   serve.Stats
+}
+
+func (r loadResult) qps() float64 {
+	return float64(len(r.answers)) / r.elapsed.Seconds()
+}
+
+// runLoad drives clients × queries walk queries through one server and
+// collects the answers in issue order (client-major), so the two modes'
+// answer vectors are directly comparable.
+func runLoad(g *graph.Graph, kernel walk.Kernel, opts serve.Options,
+	clients, queries, k, ttl int, origin int32, targets []int32, seed uint64, workers int) (loadResult, error) {
+	opts.Workers = workers
+	srv := serve.NewServer(opts)
+	defer srv.Close()
+	if err := srv.RegisterGraph("load", g); err != nil {
+		return loadResult{}, err
+	}
+	// Warm the engine cache outside the timed window: both modes pay
+	// compilation once, not inside the throughput measurement.
+	if _, err := srv.WalkQuery(context.Background(), serve.WalkQueryRequest{
+		Graph: "load", Kernel: kernel, Origin: origin, K: k, TTL: ttl, Targets: targets, Seed: ^seed,
+	}); err != nil {
+		return loadResult{}, err
+	}
+	res := loadResult{answers: make([]netsim.QueryResult, clients*queries)}
+	var errCount sync.Map
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				i := c*queries + q
+				a, err := srv.WalkQuery(context.Background(), serve.WalkQueryRequest{
+					Graph: "load", Kernel: kernel, Origin: origin, K: k, TTL: ttl,
+					Targets: targets, Seed: seed + uint64(i),
+				})
+				if err != nil {
+					errCount.Store(i, err)
+					continue
+				}
+				res.answers[i] = a
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	errCount.Range(func(any, any) bool { res.errs++; return true })
+	res.stats = srv.Stats()
+	return res, nil
+}
+
+func parseTargets(s string) ([]int32, error) {
+	var out []int32
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad target %q: %w", f, err)
+		}
+		out = append(out, int32(v))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("need at least one target vertex")
+	}
+	return out, nil
+}
+
+// run executes the load measurement; tests drive it with tiny shapes.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("walkload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	spec := fs.String("graph", "margulis:24", "graph spec (the default is the Table-1 expander, n=576)")
+	clients := fs.Int("clients", 256, "concurrent clients")
+	queries := fs.Int("queries", 16, "queries per client")
+	k := fs.Int("k", 1, "walkers per query")
+	ttl := fs.Int("ttl", 1<<20, "per-query round budget")
+	targetsFlag := fs.String("targets", "300", "target vertices, comma-separated")
+	origin := fs.Int("origin", 0, "query origin vertex")
+	seed := fs.Uint64("seed", 1, "base seed; query i uses seed+i")
+	kernelFlag := fs.String("kernel", "uniform", "walk kernel")
+	mode := fs.String("mode", "both", "naive, coalesced, or both (both verifies bit-for-bit equality)")
+	tick := fs.Duration("tick", 200*time.Microsecond, "coalescer gather window")
+	workers := fs.Int("workers", 1, "workers per grouped pass (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
+	if *clients < 1 || *queries < 1 {
+		return usage(fmt.Errorf("clients and queries must be >= 1"))
+	}
+	g, err := graph.ParseSpec(*spec)
+	if err != nil {
+		return usage(err)
+	}
+	kernel, err := walk.ParseKernel(*kernelFlag)
+	if err != nil {
+		return usage(err)
+	}
+	targets, err := parseTargets(*targetsFlag)
+	if err != nil {
+		return usage(err)
+	}
+	total := *clients * *queries
+	fmt.Fprintf(out, "walkload: %s (n=%d) k=%d ttl=%d targets=%v kernel=%s  %d clients x %d queries = %d\n",
+		*spec, g.N(), *k, *ttl, targets, kernel, *clients, *queries, total)
+
+	var naive, coalesced loadResult
+	runMode := func(noCoalesce bool) (loadResult, error) {
+		return runLoad(g, kernel, serve.Options{Tick: *tick, NoCoalesce: noCoalesce},
+			*clients, *queries, *k, *ttl, int32(*origin), targets, *seed, *workers)
+	}
+	switch *mode {
+	case "naive", "coalesced", "both":
+	default:
+		return usage(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *mode == "naive" || *mode == "both" {
+		if naive, err = runMode(true); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "naive      %6d queries in %12v  -> %8.0f q/s   (per-request Engine.Run)\n",
+			total, naive.elapsed.Round(time.Millisecond), naive.qps())
+	}
+	if *mode == "coalesced" || *mode == "both" {
+		if coalesced, err = runMode(false); err != nil {
+			return err
+		}
+		st := coalesced.stats
+		meanLanes := 0.0
+		if st.Passes > 0 {
+			meanLanes = float64(st.Lanes) / float64(st.Passes)
+		}
+		fmt.Fprintf(out, "coalesced  %6d queries in %12v  -> %8.0f q/s   (%d grouped passes, mean %.0f lanes/pass)\n",
+			total, coalesced.elapsed.Round(time.Millisecond), coalesced.qps(), st.Passes, meanLanes)
+	}
+	if naive.errs+coalesced.errs > 0 {
+		return fmt.Errorf("request errors: naive %d, coalesced %d", naive.errs, coalesced.errs)
+	}
+	if *mode == "both" {
+		for i := range naive.answers {
+			if naive.answers[i] != coalesced.answers[i] {
+				return fmt.Errorf("answer %d differs: naive %+v, coalesced %+v", i, naive.answers[i], coalesced.answers[i])
+			}
+		}
+		speedup := coalesced.qps() / naive.qps()
+		fmt.Fprintf(out, "verify: all %d coalesced answers bit-for-bit equal to naive dispatch\n", total)
+		fmt.Fprintf(out, "speedup: %.2fx\n", speedup)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "walkload:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}

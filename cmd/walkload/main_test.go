@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTinyLoad drives the whole flag-to-report path with a small shape
+// in both modes, which also exercises the bit-for-bit verification.
+func TestRunTinyLoad(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", "margulis:8", "-clients", "8", "-queries", "4",
+		"-k", "2", "-ttl", "4096", "-targets", "40,50", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"naive", "coalesced", "bit-for-bit", "speedup:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-clients") {
+		t.Fatalf("-h must print usage, got %v", err)
+	}
+	for _, bad := range [][]string{
+		{"-graph", "nope:1"},
+		{"-mode", "sideways"},
+		{"-targets", "x"},
+		{"-clients", "0"},
+	} {
+		if err := run(bad, &out); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}

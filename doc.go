@@ -84,6 +84,14 @@
 // against the exact chain path (NewMarkovChainForKernel,
 // ExactKernelCoverTime).
 //
+// For serving workloads, NewServer returns an in-process query server: it
+// registers graphs, caches compiled engines (LRU by graph × kernel), and
+// coalesces concurrent same-shape requests — WalkQuery, HittingTime,
+// CoverTime, MeetingTime — into single grouped engine passes, with every
+// served answer bit-for-bit equal to the standalone call for the same
+// request. cmd/walkd is its HTTP+JSON daemon and cmd/walkload the
+// coalesced-vs-naive load generator.
+//
 // The full experiment suite — every table, figure and theorem check — lives
 // in the cmd/ binaries (cmd/table1, cmd/barbell, cmd/experiments, ...) and
 // in the benchmarks at the repository root; ARCHITECTURE.md documents the

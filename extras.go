@@ -138,6 +138,14 @@ func RunWalkQuery(g *Graph, origin int32, k, ttl int, hasItem []bool, r *Rand) Q
 	return netsim.RunWalkQuery(g, origin, k, ttl, hasItem, r)
 }
 
+// RunWalkQueryEngine answers the walk query on a caller-held engine — the
+// per-request dispatch the serving layer's coalescer is benchmarked
+// against. Determinism comes from the engine's per-walker streams under
+// seed; an isolated origin returns a no-progress result.
+func RunWalkQueryEngine(eng *Engine, origin int32, k, ttl int, hasItem []bool, seed uint64) QueryResult {
+	return netsim.RunWalkQueryEngine(eng, origin, k, ttl, hasItem, seed)
+}
+
 // RunFloodQuery searches by TTL-bounded flooding.
 func RunFloodQuery(g *Graph, origin int32, ttl int, hasItem []bool, r *Rand) QueryResult {
 	return netsim.RunFloodQuery(g, origin, ttl, hasItem, r)

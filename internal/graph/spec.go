@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a deterministic graph from a compact "kind:params" spec
+// string — the shape the serving daemon and load generator take on the
+// command line. Supported specs:
+//
+//	cycle:n        the n-cycle
+//	path:n         the path on n vertices
+//	complete:n     K_n (complete:n:loops adds a self-loop per vertex)
+//	star:n         the star on n vertices
+//	torus:side     the side×side 2-d torus
+//	grid2d:side    the side×side 2-d grid (non-periodic)
+//	hypercube:d    the d-dimensional hypercube
+//	tree:a:h       the complete arity-a tree of height h
+//	barbell:n      the paper's barbell B_n (odd n)
+//	lollipop:c:p   clique of c with a path tail of p
+//	margulis:m     the Margulis–Gabber–Galil expander on the m×m torus
+//	expander:m     alias for margulis:m
+//	chords:p       the 3-regular inverse-chord expander on a prime p
+//
+// The returned graph's Name reflects the spec. Out-of-range parameters
+// (generator preconditions like cycle's n >= 3 or barbell's odd n) surface
+// as errors, not panics — the specs arrive from daemon flags.
+func ParseSpec(spec string) (g *Graph, err error) {
+	defer func() {
+		// The generators guard their preconditions with panics (their
+		// documented library contract); a flag-supplied spec converts
+		// them to errors instead of crashing the daemon.
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("graph: bad spec %q: %v", spec, r)
+		}
+	}()
+	kind, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	kind = strings.ToLower(kind)
+	args := []int{}
+	if rest != "" {
+		for _, f := range strings.Split(rest, ":") {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad spec %q: parameter %q is not an integer", spec, f)
+			}
+			args = append(args, v)
+		}
+	}
+	for i, v := range args {
+		if kind == "complete" && i == 1 {
+			continue // the loops flag is a 0/1 boolean
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("graph: bad spec %q: parameters must be positive", spec)
+		}
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("graph: spec %q wants %d parameter(s), got %d", spec, n, len(args))
+		}
+		return nil
+	}
+	switch kind {
+	case "cycle":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Cycle(args[0]), nil
+	case "path":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Path(args[0]), nil
+	case "complete":
+		if len(args) == 2 {
+			return Complete(args[0], args[1] != 0), nil
+		}
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Complete(args[0], false), nil
+	case "star":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Star(args[0]), nil
+	case "torus":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Torus2D(args[0]), nil
+	case "grid2d":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Grid([]int{args[0], args[0]}, false), nil
+	case "hypercube":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return Hypercube(args[0]), nil
+	case "tree":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return BalancedTree(args[0], args[1]), nil
+	case "barbell":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		g, _ := Barbell(args[0])
+		return g, nil
+	case "lollipop":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return Lollipop(args[0], args[1]), nil
+	case "margulis", "expander":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return MargulisExpander(args[0]), nil
+	case "chords":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return CycleWithChords(args[0]), nil
+	}
+	return nil, fmt.Errorf("graph: unknown spec kind %q (want cycle, path, complete, star, torus, grid2d, hypercube, tree, barbell, lollipop, margulis, chords)", kind)
+}

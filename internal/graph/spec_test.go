@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecKinds pins every spec kind against its generator.
+func TestParseSpecKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"cycle:16", 16},
+		{"path:9", 9},
+		{"complete:8", 8},
+		{"complete:8:1", 8},
+		{"complete:8:0", 8},
+		{"star:7", 7},
+		{"torus:5", 25},
+		{"grid2d:4", 16},
+		{"hypercube:4", 16},
+		{"tree:2:3", 15},
+		{"barbell:9", 9},
+		{"lollipop:5:4", 9},
+		{"margulis:6", 36},
+		{"expander:6", 36},
+		{"chords:11", 11},
+		{" Cycle:16 ", 16}, // case/space insensitive
+	}
+	for _, c := range cases {
+		g, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("ParseSpec(%q): n = %d, want %d", c.spec, g.N(), c.n)
+		}
+	}
+	withLoops, _ := ParseSpec("complete:8:1")
+	noLoops, _ := ParseSpec("complete:8:0")
+	if withLoops.SelfLoops() != 8 || noLoops.SelfLoops() != 0 {
+		t.Fatalf("complete loops flag: %d / %d self-loops", withLoops.SelfLoops(), noLoops.SelfLoops())
+	}
+}
+
+// TestParseSpecErrors: malformed and out-of-range specs are errors, never
+// panics — these strings arrive from daemon flags.
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",          // no kind
+		"mobius:5",  // unknown kind
+		"cycle",     // missing parameter
+		"cycle:x",   // non-integer
+		"cycle:0",   // non-positive
+		"cycle:2",   // generator precondition (n >= 3) -> recovered panic
+		"barbell:8", // barbell wants odd n
+		"hypercube:40",
+		"torus:1",
+		"tree:1:3",
+		"lollipop:1:1",
+		"cycle:4:4", // parameter count
+	}
+	for _, spec := range bad {
+		g, err := ParseSpec(spec)
+		if err == nil {
+			t.Fatalf("ParseSpec(%q) accepted (n=%d)", spec, g.N())
+		}
+		if !strings.Contains(err.Error(), "graph:") {
+			t.Fatalf("ParseSpec(%q): undescriptive error %v", spec, err)
+		}
+	}
+}

@@ -85,9 +85,15 @@ func (n *Network) Send(from, to NodeID, payload any, hops int) {
 }
 
 // SendToRandomNeighbor forwards payload from node to a uniformly random
-// neighbor — the random-walk primitive.
+// neighbor — the random-walk primitive. A degree-0 node has nowhere to
+// forward: nothing is sent and from itself is returned, so a token parked
+// on an isolated vertex makes no progress instead of panicking the
+// simulator.
 func (n *Network) SendToRandomNeighbor(from NodeID, payload any, hops int) NodeID {
 	nb := n.g.Neighbors(from)
+	if len(nb) == 0 {
+		return from
+	}
 	to := nb[n.rand.Intn(len(nb))]
 	n.Send(from, to, payload, hops)
 	return to

@@ -56,6 +56,9 @@ func RunWalkQuery(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bool, r *
 	if hasItem[origin] {
 		return QueryResult{Found: true, Rounds: 0, Messages: 0}
 	}
+	// An isolated origin launches no tokens (SendToRandomNeighbor is a
+	// no-op there), so the network quiesces immediately: the query fails
+	// with zero messages instead of panicking in the neighbor sampler.
 	for i := 0; i < k; i++ {
 		net.SendToRandomNeighbor(origin, walkToken{ttl: ttl - 1}, -1)
 	}
@@ -154,7 +157,20 @@ func RunMembershipSampling(g *graph.Graph, origin NodeID, count, walkLen int, r 
 // query costs k messages per elapsed round. Unlike RunWalkQuery, Rounds
 // reports ttl (not 0) when the query fails.
 func RunWalkQueryBatched(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bool, seed uint64) QueryResult {
+	if hasItem[origin] {
+		return QueryResult{Found: true, Rounds: 0, Messages: 0}
+	}
+	if g.Degree(origin) == 0 {
+		return noProgressResult(ttl)
+	}
 	return RunWalkQueryEngine(walk.NewEngine(g, walk.EngineOptions{}), origin, k, ttl, hasItem, seed)
+}
+
+// noProgressResult is the outcome of a walk query whose tokens cannot move:
+// an isolated origin pins every token, so the query fails after ttl rounds
+// having sent nothing.
+func noProgressResult(ttl int) QueryResult {
+	return QueryResult{Found: false, Rounds: ttl, Messages: 0}
 }
 
 // RunWalkQueryEngine is RunWalkQueryBatched on a caller-held engine, for
@@ -165,6 +181,9 @@ func RunWalkQueryBatched(g *graph.Graph, origin NodeID, k, ttl int, hasItem []bo
 func RunWalkQueryEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem []bool, seed uint64) QueryResult {
 	if hasItem[origin] {
 		return QueryResult{Found: true, Rounds: 0, Messages: 0}
+	}
+	if eng.Graph().Degree(origin) == 0 {
+		return noProgressResult(ttl)
 	}
 	starts := make([]int32, k)
 	for i := range starts {
@@ -199,7 +218,13 @@ func RunWalkQueriesEngine(eng *walk.Engine, origin NodeID, k, ttl int, hasItem [
 		}
 		return out
 	}
-	if int64(ttl) <= 0 || int64(ttl) >= 1<<31 {
+	if eng.Graph().Degree(origin) == 0 {
+		for i := range out {
+			out[i] = noProgressResult(ttl)
+		}
+		return out
+	}
+	if int64(ttl) <= 0 || int64(ttl) > walk.MaxGroupedRounds {
 		// Outside the grouped driver's budget range: answer query by query.
 		for i, seed := range seeds {
 			out[i] = RunWalkQueryEngine(eng, origin, k, ttl, hasItem, seed)

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/rng"
+)
+
+// TestConcurrentMixedClients hammers one coalesced server with many
+// concurrent clients issuing mixed-shape requests — walk queries, hitting,
+// cover, and meeting estimates across several graphs and kernels — while
+// some clients cancel mid-batch and the engine cache (capacity 2) churns
+// through more shapes than it holds. Run under -race this is the
+// coalescer's data-race gate; the assertions also pin that every answered
+// request is deterministic across the two identical passes.
+func TestConcurrentMixedClients(t *testing.T) {
+	run := func() map[string]string {
+		s := NewServer(Options{EngineCache: 2, Tick: 100 * time.Microsecond})
+		defer s.Close()
+		for id, g := range map[string]*graph.Graph{
+			"expander64": graph.MargulisExpander(8),
+			"cycle32":    graph.Cycle(32),
+			"complete16": graph.Complete(16, false),
+			"torus64":    graph.Torus2D(8),
+		} {
+			if err := s.RegisterGraph(id, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids := []string{"expander64", "cycle32", "complete16", "torus64"}
+		answers := make(map[string]string)
+		var mu sync.Mutex
+		record := func(key, val string) {
+			mu.Lock()
+			answers[key] = val
+			mu.Unlock()
+		}
+		const clients = 24
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rng.New(uint64(c) + 1)
+				for i := 0; i < 12; i++ {
+					gid := ids[r.Intn(len(ids))]
+					ctx := context.Background()
+					cancelled := false
+					if r.Intn(6) == 0 {
+						// Cancel mid-batch: the deadline lands inside the
+						// gather window or the pass.
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, time.Duration(r.Intn(200))*time.Microsecond)
+						defer cancel()
+						cancelled = true
+					}
+					seed := uint64(c*1000 + i)
+					key := fmtKey(gid, c, i)
+					switch r.Intn(4) {
+					case 0:
+						a, err := s.WalkQuery(ctx, WalkQueryRequest{Graph: gid, Origin: 0, K: 2, TTL: 2048, Targets: []int32{9}, Seed: seed})
+						if err == nil {
+							record(key, fmtAns(a.Found, int64(a.Rounds), a.Messages))
+						} else if !cancelled || !isCtxErr(err) {
+							t.Errorf("walk query: %v", err)
+						}
+					case 1:
+						a, err := s.HittingTime(ctx, HittingTimeRequest{Graph: gid, Start: 0, Target: 9, Trials: 6, Seed: seed, MaxSteps: 1 << 14})
+						if err == nil {
+							record(key, fmtEst(a.Summary.Mean, a.Truncated))
+						} else if !cancelled || !isCtxErr(err) {
+							t.Errorf("hitting: %v", err)
+						}
+					case 2:
+						a, err := s.CoverTime(ctx, CoverTimeRequest{Graph: gid, Start: 0, K: 4, Trials: 6, Seed: seed, MaxSteps: 1 << 16})
+						if err == nil {
+							record(key, fmtEst(a.Summary.Mean, a.Truncated))
+						} else if !cancelled || !isCtxErr(err) {
+							t.Errorf("cover: %v", err)
+						}
+					case 3:
+						a, err := s.MeetingTime(ctx, MeetingTimeRequest{Graph: gid, Starts: []int32{0, 5}, Trials: 6, Seed: seed, MaxSteps: 1 << 14})
+						if err == nil {
+							record(key, fmtEst(a.Summary.Mean, a.Truncated))
+						} else if !cancelled || !isCtxErr(err) {
+							t.Errorf("meeting: %v", err)
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return answers
+	}
+	first := run()
+	second := run()
+	// Cancellation makes the answered *set* differ between passes, but any
+	// request answered in both must have answered identically — the
+	// determinism contract under concurrency, eviction, and batching.
+	both := 0
+	for key, val := range first {
+		if other, ok := second[key]; ok {
+			both++
+			if other != val {
+				t.Fatalf("request %s answered differently across passes: %q vs %q", key, val, other)
+			}
+		}
+	}
+	if both == 0 {
+		t.Fatal("no request was answered in both passes")
+	}
+}
+
+func fmtKey(gid string, c, i int) string {
+	return gid + ":" + string(rune('a'+c)) + ":" + string(rune('a'+i))
+}
+
+func fmtAns(found bool, rounds, messages int64) string {
+	return fmtEst(float64(rounds)*1e3+float64(messages), boolInt(found))
+}
+
+func fmtEst(mean float64, truncated int) string {
+	return time.Duration(int64(mean*1e6) + int64(truncated)).String()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}

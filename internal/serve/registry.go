@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/walk"
+)
+
+// graphEntry is one registered topology with the properties the request
+// validators consult on every submit, computed once at registration.
+type graphEntry struct {
+	id        string
+	g         *graph.Graph
+	connected bool
+}
+
+// GraphInfo describes one registered graph (the /v1/graphs listing).
+type GraphInfo struct {
+	ID        string `json:"id"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Connected bool   `json:"connected"`
+}
+
+// RegisterGraph adds g to the server's registry under id. Graphs are
+// immutable once registered and shared by every request that names them.
+// Graphs with isolated vertices are rejected up front — the engine requires
+// min degree 1, and rejecting at registration keeps that contract out of
+// the per-request hot path.
+func (s *Server) RegisterGraph(id string, g *graph.Graph) error {
+	if id == "" {
+		return fmt.Errorf("serve: graph id must be non-empty")
+	}
+	if g == nil || g.N() == 0 {
+		return fmt.Errorf("serve: graph %q is empty", id)
+	}
+	if min, _ := g.DegreeStats(); min == 0 {
+		return fmt.Errorf("serve: graph %q has an isolated vertex; walkers there would have no move", id)
+	}
+	entry := &graphEntry{id: id, g: g, connected: g.IsConnected()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.graphs[id]; dup {
+		return fmt.Errorf("serve: graph %q already registered", id)
+	}
+	s.graphs[id] = entry
+	return nil
+}
+
+// Graphs lists the registered graphs, sorted by id.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, ge := range s.graphs {
+		out = append(out, GraphInfo{ID: ge.id, N: ge.g.N(), M: ge.g.M(), Connected: ge.connected})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// graphEntry resolves id, or reports ErrUnknownGraph.
+func (s *Server) graphEntryFor(id string) (*graphEntry, error) {
+	s.mu.Lock()
+	ge := s.graphs[id]
+	s.mu.Unlock()
+	if ge == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	return ge, nil
+}
+
+// engineKey identifies one compiled engine: a graph crossed with a step
+// law. Kernel.String() round-trips every parameter (ParseKernel syntax), so
+// equal strings mean equal compiled programs.
+type engineKey struct {
+	graph  string
+	kernel string
+}
+
+// engineCache is the LRU-bounded compiled-engine cache. Engines are
+// immutable and safe for concurrent use, so an entry evicted while a pass
+// still holds it simply finishes the pass on the orphaned engine; the cache
+// only bounds how many table sets stay resident.
+type engineCache struct {
+	cap     int
+	mu      sync.Mutex
+	tick    uint64
+	entries map[engineKey]*engineEntry
+}
+
+type engineEntry struct {
+	eng  *walk.Engine
+	used uint64
+}
+
+func newEngineCache(cap int) *engineCache {
+	return &engineCache{cap: cap, entries: make(map[engineKey]*engineEntry)}
+}
+
+// get returns the cached engine for key, building (and inserting) it with
+// build on a miss. Compilation runs under the cache lock: it is rare (once
+// per graph × kernel until eviction) and serializing it prevents a stampede
+// of clients compiling the same alias tables concurrently.
+func (c *engineCache) get(key engineKey, build func() *walk.Engine) *walk.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if e := c.entries[key]; e != nil {
+		e.used = c.tick
+		return e.eng
+	}
+	eng := build()
+	c.entries[key] = &engineEntry{eng: eng, used: c.tick}
+	for len(c.entries) > c.cap {
+		var lruKey engineKey
+		lru := uint64(0)
+		first := true
+		for k, e := range c.entries {
+			if first || e.used < lru {
+				lruKey, lru, first = k, e.used, false
+			}
+		}
+		delete(c.entries, lruKey)
+	}
+	return eng
+}
+
+// len reports the resident engine count (tests).
+func (c *engineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// engineFor returns the compiled engine serving (graph, kernel) requests.
+// The kernel must already be validated against the graph (NewEngine panics
+// on an invalid kernel, by contract).
+func (s *Server) engineFor(ge *graphEntry, kernel walk.Kernel) *walk.Engine {
+	key := engineKey{graph: ge.id, kernel: kernel.String()}
+	return s.engines.get(key, func() *walk.Engine {
+		return walk.NewEngine(ge.g, walk.EngineOptions{Workers: s.opts.Workers, Kernel: kernel})
+	})
+}

@@ -41,11 +41,14 @@ import (
 // per-trial results; TestFusedMatchesSequentialTrials pins them against
 // the sequential engine across a Workers × BatchRounds grid.
 
-// maxGroupedRounds is the largest MaxRounds RunGrouped accepts: first-visit
-// lanes store rounds as uint32 (with ^0 as the unset sentinel), so budgets
-// must stay below 2^31. Estimators with larger budgets fall back to the
-// sequential MonteCarlo path.
-const maxGroupedRounds = int64(1) << 31
+// MaxGroupedRounds is the largest MaxRounds RunGrouped accepts: first-visit
+// lanes store rounds as uint32 (with ^0 as the unset sentinel) and the fused
+// pair passes stage them through signed 32-bit arithmetic, so round 2^31-1
+// is the last representable and a budget of exactly 2^31 must already take
+// the sequential path. Estimators with larger budgets fall back to the
+// sequential MonteCarlo path automatically; external callers (netsim query
+// sweeps, the serving coalescer) gate on this constant the same way.
+const MaxGroupedRounds = int64(1)<<31 - 1
 
 // GroupedRunSpec describes Trials independent k-walk runs of one shape.
 type GroupedRunSpec struct {
@@ -57,8 +60,16 @@ type GroupedRunSpec struct {
 	// Place, when non-nil, fills starts (a scratch slice of len k) with
 	// trial's placement, drawing any randomness from r — the trial's
 	// driver stream, positioned exactly where MonteCarlo's closures see
-	// it. Mutually exclusive with Seeds.
+	// it. Mutually exclusive with Seeds and StartsFor.
 	Place func(trial int, r *rng.Source, starts []int32)
+	// StartsFor, when non-nil, overwrites starts (a scratch slice of len
+	// k) with trial's placement deterministically — it draws no
+	// randomness, so unlike Place it composes with Seeds. It is the
+	// externally-coalesced shape: a serving layer folding requests with
+	// different origins into one pass supplies each lane's placement here
+	// and its engine seed through Seeds, reproducing each request's
+	// standalone Engine.Run exactly. Mutually exclusive with Place.
+	StartsFor func(trial int, starts []int32)
 	// Seed is the root seed; trial t's driver stream is NewStream(Seed, t)
 	// and its engine seed is the stream's first draw after Place.
 	Seed uint64
@@ -67,7 +78,7 @@ type GroupedRunSpec struct {
 	// callers like the netsim query sweeps that pick per-query seeds.
 	Seeds []uint64
 	// MaxRounds is the per-trial round budget (required, > 0, and at most
-	// maxGroupedRounds).
+	// MaxGroupedRounds).
 	MaxRounds int64
 	// Workers caps the goroutines stepping lane shards (0: the engine's
 	// worker count). Results never depend on it.
@@ -229,8 +240,8 @@ func (e *Engine) validateGrouped(spec *GroupedRunSpec, obs []GroupObserver) erro
 	if spec.MaxRounds <= 0 {
 		return fmt.Errorf("walk: grouped run requires MaxRounds > 0, got %d", spec.MaxRounds)
 	}
-	if spec.MaxRounds > maxGroupedRounds {
-		return fmt.Errorf("walk: grouped run budget %d exceeds %d rounds; use the sequential path", spec.MaxRounds, maxGroupedRounds)
+	if spec.MaxRounds > MaxGroupedRounds {
+		return fmt.Errorf("walk: grouped run budget %d exceeds %d rounds; use the sequential path", spec.MaxRounds, MaxGroupedRounds)
 	}
 	if spec.Seeds != nil {
 		if len(spec.Seeds) != spec.Trials {
@@ -240,8 +251,11 @@ func (e *Engine) validateGrouped(spec *GroupedRunSpec, obs []GroupObserver) erro
 			return fmt.Errorf("walk: Seeds and Place are mutually exclusive")
 		}
 	}
+	if spec.StartsFor != nil && spec.Place != nil {
+		return fmt.Errorf("walk: StartsFor and Place are mutually exclusive")
+	}
 	n := e.g.N()
-	if spec.Place == nil {
+	if spec.Place == nil && spec.StartsFor == nil {
 		for i, s := range spec.Starts {
 			if s < 0 || int(s) >= n {
 				return fmt.Errorf("walk: start[%d] = %d out of range [0,%d)", i, s, n)
@@ -312,6 +326,15 @@ func (e *Engine) RunGrouped(spec GroupedRunSpec, observers ...GroupObserver) (Gr
 func (e *Engine) seedLane(gst *groupState, spec *GroupedRunSpec, ln, trial int, driver *rng.Source, laneStarts []int32) error {
 	k := gst.laneK
 	copy(laneStarts, spec.Starts)
+	if spec.StartsFor != nil {
+		spec.StartsFor(trial, laneStarts)
+		n := e.g.N()
+		for i, s := range laneStarts {
+			if s < 0 || int(s) >= n {
+				return fmt.Errorf("walk: trial %d start[%d] = %d out of range [0,%d)", trial, i, s, n)
+			}
+		}
+	}
 	var engineSeed uint64
 	if spec.Seeds != nil {
 		engineSeed = spec.Seeds[trial]

@@ -372,7 +372,7 @@ func TestGroupedValidation(t *testing.T) {
 		{"no trials", GroupedRunSpec{Starts: []int32{0}, MaxRounds: 10}},
 		{"no walkers", GroupedRunSpec{Trials: 1, MaxRounds: 10}},
 		{"no budget", GroupedRunSpec{Trials: 1, Starts: []int32{0}}},
-		{"budget too large", GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: maxGroupedRounds + 1}},
+		{"budget too large", GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: MaxGroupedRounds + 1}},
 		{"bad start", GroupedRunSpec{Trials: 1, Starts: []int32{99}, MaxRounds: 10}},
 		{"seeds length", GroupedRunSpec{Trials: 2, Starts: []int32{0}, MaxRounds: 10, Seeds: []uint64{1}}},
 		{"seeds and place", GroupedRunSpec{Trials: 1, Starts: []int32{0}, MaxRounds: 10,
@@ -441,5 +441,151 @@ func TestGroupedPartialTargetExportExact(t *testing.T) {
 				t.Fatalf("trial %d vertex %d: first visit %d past stop round %d", i, v, ff[v], fres.Rounds[i])
 			}
 		}
+	}
+}
+
+// TestGroupedRoundsBoundary pins the MaxGroupedRounds edge exactly: a
+// budget of MaxGroupedRounds (2^31-1, the last uint32-representable round
+// under the ^0 sentinel) is accepted by RunGrouped, while 2^31 is rejected
+// and must be served by the sequential fallback. The estimator gates are
+// checked on both sides: at the cap the grouped path runs, one past it the
+// sequential MonteCarlo path runs, and because these trials finish far
+// below either budget the two must produce identical estimates.
+func TestGroupedRoundsBoundary(t *testing.T) {
+	g := graph.Complete(12, false)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	cov := NewGroupCoverObserver(0)
+	spec := GroupedRunSpec{Trials: 2, Starts: []int32{0, 0}, Seed: 5, MaxRounds: MaxGroupedRounds}
+	if _, err := eng.RunGrouped(spec, cov); err != nil {
+		t.Fatalf("budget at MaxGroupedRounds rejected: %v", err)
+	}
+	spec.MaxRounds = MaxGroupedRounds + 1 // == 1<<31
+	if _, err := eng.RunGrouped(spec, NewGroupCoverObserver(0)); err == nil {
+		t.Fatal("budget of 1<<31 accepted by the grouped driver")
+	}
+	if MaxGroupedRounds+1 != int64(1)<<31 {
+		t.Fatalf("MaxGroupedRounds = %d; want 1<<31 - 1", MaxGroupedRounds)
+	}
+
+	at := MCOptions{Trials: 6, Workers: 1, Seed: 9, MaxSteps: MaxGroupedRounds}
+	past := at
+	past.MaxSteps = MaxGroupedRounds + 1
+	estAt, err := EstimateKCoverTime(g, 0, 2, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estPast, err := EstimateKCoverTime(g, 0, 2, past)
+	if err != nil {
+		t.Fatalf("estimator with budget 1<<31 must fall back to the sequential path, got %v", err)
+	}
+	if estAt != estPast {
+		t.Fatalf("cover estimate differs across the boundary: grouped %+v, sequential %+v", estAt, estPast)
+	}
+	hitAt, err := EstimateHittingTime(g, 0, 6, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitPast, err := EstimateHittingTime(g, 0, 6, past)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitAt != hitPast {
+		t.Fatalf("hitting estimate differs across the boundary: grouped %+v, sequential %+v", hitAt, hitPast)
+	}
+	meetAt, err := EstimateKMeetingTime(g, []int32{0, 6}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meetPast, err := EstimateKMeetingTime(g, []int32{0, 6}, past)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meetAt != meetPast {
+		t.Fatalf("meeting estimate differs across the boundary: grouped %+v, sequential %+v", meetAt, meetPast)
+	}
+}
+
+// TestGroupedStartsForSeeds pins the externally-coalesced shape: explicit
+// per-lane engine seeds (Seeds) combined with per-lane placements
+// (StartsFor) must reproduce each lane's standalone Engine.Run bit for bit
+// — the contract the serving coalescer is built on. Checked for hit lanes
+// (mixed origins sharing one pass) and cover lanes, on fused and generic
+// paths.
+func TestGroupedStartsForSeeds(t *testing.T) {
+	g := graph.MargulisExpander(6)
+	eng := NewEngine(g, EngineOptions{Workers: 1})
+	n := g.N()
+	const trials = 12
+	const budget = int64(1 << 14)
+
+	marked := make([]bool, n)
+	marked[n-1] = true
+	marked[n/3] = true
+	k := 3
+	seeds := make([]uint64, trials)
+	origins := make([]int32, trials)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + i*i)
+		origins[i] = int32((i * 5) % (n / 2))
+	}
+	hit := NewGroupHitObserver(marked)
+	res, err := eng.RunGrouped(GroupedRunSpec{
+		Trials: trials,
+		Starts: make([]int32, k),
+		StartsFor: func(trial int, dst []int32) {
+			for j := range dst {
+				dst[j] = origins[trial]
+			}
+		},
+		Seeds:     seeds,
+		MaxRounds: budget,
+	}, hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		want := eng.KHit(commonStarts(origins[i], k), marked, seeds[i], budget)
+		if res.Rounds[i] != want.Rounds || res.Stopped[i] != want.Hit {
+			t.Fatalf("hit lane %d (origin %d): grouped (%d,%v) != standalone (%d,%v)",
+				i, origins[i], res.Rounds[i], res.Stopped[i], want.Rounds, want.Hit)
+		}
+	}
+
+	kc := 12 // wide enough for the fused cover path
+	cres, err := eng.RunGrouped(GroupedRunSpec{
+		Trials: trials,
+		Starts: make([]int32, kc),
+		StartsFor: func(trial int, dst []int32) {
+			for j := range dst {
+				dst[j] = origins[trial]
+			}
+		},
+		Seeds:     seeds,
+		MaxRounds: budget,
+	}, NewGroupCoverObserver(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		want := eng.KCover(commonStarts(origins[i], kc), seeds[i], budget)
+		if cres.Rounds[i] != want.Steps || cres.Stopped[i] != want.Covered {
+			t.Fatalf("cover lane %d: grouped (%d,%v) != standalone (%d,%v)",
+				i, cres.Rounds[i], cres.Stopped[i], want.Steps, want.Covered)
+		}
+	}
+
+	// Misuse and out-of-range placements are descriptive errors.
+	if _, err := eng.RunGrouped(GroupedRunSpec{
+		Trials: 1, Starts: []int32{0}, MaxRounds: 8,
+		StartsFor: func(int, []int32) {},
+		Place:     func(int, *rng.Source, []int32) {},
+	}, NewGroupCoverObserver(0)); err == nil {
+		t.Fatal("StartsFor and Place accepted together")
+	}
+	if _, err := eng.RunGrouped(GroupedRunSpec{
+		Trials: 1, Starts: []int32{0}, MaxRounds: 8,
+		StartsFor: func(_ int, dst []int32) { dst[0] = int32(n) },
+	}, NewGroupCoverObserver(0)); err == nil {
+		t.Fatal("out-of-range StartsFor placement accepted")
 	}
 }

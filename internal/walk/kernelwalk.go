@@ -257,7 +257,7 @@ func EstimateKernelKCoverTime(g *graph.Graph, kern Kernel, start int32, k int, o
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }
 
 // EstimateKernelHittingTime estimates h(start, target) under kernel k by
@@ -284,5 +284,5 @@ func EstimateKernelHittingTime(g *graph.Graph, k Kernel, start, target int32, op
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }

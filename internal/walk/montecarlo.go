@@ -108,7 +108,7 @@ func (e Estimate) CI95() float64 { return e.Summary.CI95() }
 // The two paths are bit-for-bit interchangeable (pinned by
 // TestFusedMatchesSequentialTrials).
 func runCoverTrials(eng *Engine, opts MCOptions, starts []int32, target int, place func(int, *rng.Source, []int32)) (GroupedResult, error) {
-	if opts.MaxSteps <= maxGroupedRounds {
+	if opts.MaxSteps <= MaxGroupedRounds {
 		return eng.RunGrouped(GroupedRunSpec{
 			Trials:    opts.Trials,
 			Starts:    starts,
@@ -139,11 +139,11 @@ func runCoverTrials(eng *Engine, opts MCOptions, starts []int32, target int, pla
 	return res, err
 }
 
-// estimateFromTrials summarizes per-trial rounds with truncation
+// EstimateFromTrials summarizes per-trial rounds with truncation
 // accounting: trials that exhausted the budget are censored at their
 // recorded rounds (the budget) and counted, exactly like the sequential
 // estimators.
-func estimateFromTrials(res GroupedResult) Estimate {
+func EstimateFromTrials(res GroupedResult) Estimate {
 	samples := make([]float64, len(res.Rounds))
 	truncated := 0
 	for i, r := range res.Rounds {
@@ -186,7 +186,7 @@ func EstimateKCoverTime(g *graph.Graph, start int32, k int, opts MCOptions) (Est
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }
 
 // EstimateKCoverTimeStationary estimates the k-walk cover time with the k
@@ -213,7 +213,7 @@ func EstimateKCoverTimeStationary(g *graph.Graph, k int, opts MCOptions) (Estima
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }
 
 // EstimateHittingTime estimates h(start, target) by simulation; it is used
@@ -238,12 +238,12 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }
 
 // runHitTrials is runCoverTrials' counterpart for marked-vertex searches.
 func runHitTrials(eng *Engine, opts MCOptions, starts []int32, marked []bool) (GroupedResult, error) {
-	if opts.MaxSteps <= maxGroupedRounds {
+	if opts.MaxSteps <= MaxGroupedRounds {
 		return eng.RunGrouped(GroupedRunSpec{
 			Trials:    opts.Trials,
 			Starts:    starts,

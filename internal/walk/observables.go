@@ -245,7 +245,7 @@ func EstimateKMeetingTime(g *graph.Graph, starts []int32, opts MCOptions) (Estim
 		return Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
-	if opts.MaxSteps > maxGroupedRounds {
+	if opts.MaxSteps > MaxGroupedRounds {
 		return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
 			res, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
 			if err != nil {
@@ -265,7 +265,7 @@ func EstimateKMeetingTime(g *graph.Graph, starts []int32, opts MCOptions) (Estim
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromTrials(res), nil
+	return EstimateFromTrials(res), nil
 }
 
 // EstimateKCoalescenceTime estimates the expected full-coalescence round
@@ -288,7 +288,7 @@ func EstimateKCoalescenceTime(g *graph.Graph, starts []int32, opts MCOptions) (c
 	eng := NewEngine(g, EngineOptions{Workers: 1})
 	meets := make([]float64, opts.Trials)
 	meetTruncated := 0
-	if opts.MaxSteps > maxGroupedRounds {
+	if opts.MaxSteps > MaxGroupedRounds {
 		var mu sync.Mutex
 		coalesce, err = kernelEstimate(opts, func(trial int, r *rng.Source) (float64, bool) {
 			res, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
@@ -333,7 +333,7 @@ func EstimateKCoalescenceTime(g *graph.Graph, starts []int32, opts MCOptions) (c
 		meets[trial] = float64(m)
 	}
 	meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
-	return estimateFromTrials(res), meet, nil
+	return EstimateFromTrials(res), meet, nil
 }
 
 // MeanPartialCoverRounds estimates, per cover fraction, the expected round
@@ -450,7 +450,7 @@ func MeanCoverageProfile(g *graph.Graph, start int32, k int, horizon int64, opts
 		return profile
 	}
 	profiles := make([][]int, opts.Trials)
-	if horizon <= maxGroupedRounds {
+	if horizon <= MaxGroupedRounds {
 		cov := &GroupCoverObserver{RecordFirst: true}
 		if _, err := eng.RunGrouped(GroupedRunSpec{
 			Trials:    opts.Trials,

@@ -6,6 +6,7 @@ import (
 	"manywalks/internal/graph"
 	"manywalks/internal/linalg"
 	"manywalks/internal/rng"
+	"manywalks/internal/serve"
 	"manywalks/internal/spectral"
 	"manywalks/internal/walk"
 )
@@ -345,6 +346,42 @@ func KCoalescenceTime(g *Graph, starts []int32, opts MCOptions) (coalesce, meet 
 func PartialCoverRounds(g *Graph, start int32, k int, fractions []float64, opts MCOptions) ([]Estimate, error) {
 	return walk.MeanPartialCoverRounds(g, start, k, fractions, opts)
 }
+
+// Serving API: the in-process query server behind cmd/walkd. A Server
+// holds a graph registry and an LRU-bounded compiled-engine cache, and
+// coalesces concurrent same-shape requests — walk queries, hitting/cover
+// estimates, meeting times — into single grouped engine passes. Every
+// served answer is bit-for-bit equal to the standalone sequential call for
+// the same request; coalescing is pure batching.
+
+// Server serves walk queries and estimator requests over registered
+// graphs; construct with NewServer, register graphs with RegisterGraph,
+// and stop with Close (which drains pending requests).
+type Server = serve.Server
+
+// ServerOptions tunes the serving layer (dispatch tick, batch and
+// admission limits, engine-cache size); no option affects answers.
+type ServerOptions = serve.Options
+
+// ServerStats counts served traffic (requests, grouped passes, lanes).
+type ServerStats = serve.Stats
+
+// WalkQueryRequest is a k-token random-walk search request.
+type WalkQueryRequest = serve.WalkQueryRequest
+
+// HittingTimeRequest is a served hitting-time estimate request.
+type HittingTimeRequest = serve.HittingTimeRequest
+
+// CoverTimeRequest is a served k-walk cover-time estimate request.
+type CoverTimeRequest = serve.CoverTimeRequest
+
+// MeetingTimeRequest is a served k-walk meeting-time estimate request.
+type MeetingTimeRequest = serve.MeetingTimeRequest
+
+// NewServer returns a running query server; see cmd/walkd for the
+// HTTP+JSON front end and cmd/walkload for the load generator that
+// measures coalesced vs naive dispatch.
+func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
 
 // SpeedupPoint is one measured (k, S^k) with provenance and CI band.
 type SpeedupPoint = core.SpeedupPoint

@@ -196,3 +196,45 @@ func TestPublicEngineAPI(t *testing.T) {
 		t.Fatalf("engine-backed estimate %v ± %v vs exact %v", est.Mean(), est.CI95(), want)
 	}
 }
+
+// TestFacadeServer exercises the serving API through the facade: a
+// coalesced server must answer walk queries bit-for-bit like the
+// per-request netsim path and estimates like the standalone estimators.
+func TestFacadeServer(t *testing.T) {
+	g := manywalks.NewMargulisExpander(8)
+	srv := manywalks.NewServer(manywalks.ServerOptions{})
+	defer srv.Close()
+	if err := srv.RegisterGraph("exp", g); err != nil {
+		t.Fatal(err)
+	}
+	eng := manywalks.NewEngine(g, manywalks.EngineOptions{})
+	hasItem := make([]bool, g.N())
+	hasItem[40] = true
+	for seed := uint64(0); seed < 6; seed++ {
+		got, err := srv.WalkQuery(nil, manywalks.WalkQueryRequest{
+			Graph: "exp", Origin: 2, K: 3, TTL: 4096, Targets: []int32{40}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := manywalks.RunWalkQueryEngine(eng, 2, 3, 4096, hasItem, seed); got != want {
+			t.Fatalf("seed %d: served %+v != standalone %+v", seed, got, want)
+		}
+	}
+	est, err := srv.HittingTime(nil, manywalks.HittingTimeRequest{
+		Graph: "exp", Start: 0, Target: 40, Trials: 8, Seed: 3, MaxSteps: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := manywalks.HittingTime(g, 0, 40, manywalks.MCOptions{Trials: 8, Workers: 1, Seed: 3, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != want {
+		t.Fatalf("served estimate %+v != standalone %+v", est, want)
+	}
+	if st := srv.Stats(); st.Requests != 7 {
+		t.Fatalf("stats %+v", st)
+	}
+}
