@@ -5,7 +5,9 @@
 // shapes, trials/sec — for the serving rows that is served queries/sec, the
 // unit the coalescing dispatcher is gated on (256 concurrent clients
 // issuing k=1 hitting-time queries on the Table-1 expander, coalesced vs
-// naive per-request dispatch).
+// naive per-request dispatch). Since BENCH_PR6 the estimator and coalesced
+// serving rows sweep Workers over {1,4,8}; every sweep point draws
+// bit-identical samples, so the rows measure pure lane-shard scaling.
 //
 // Usage:
 //
@@ -34,20 +36,37 @@ type row struct {
 	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
 }
 
-// pinned is the benchmark set every snapshot runs: the singleton engine
-// gate shapes, the hit path, and the trial-fused estimator shapes.
-func pinned() []struct {
+// pinnedBench is one named benchmark of the snapshot set.
+type pinnedBench struct {
 	name   string
 	trials int // per op; 0 for non-estimator rows
 	fn     func(b *testing.B)
-} {
+}
+
+// benchWorkerGrid is the Workers sweep of the multicore rows: the
+// singleton baseline every earlier snapshot pinned, and the shard counts
+// whose scaling the multicore grouped passes are gated on. Near-linear
+// w1 -> w4 scaling requires a >=4-vCPU box; on smaller runners the
+// multicore rows degrade gracefully and only the w1 rows are comparable
+// across snapshots.
+var benchWorkerGrid = []int{1, 4, 8}
+
+// workerSuffix names a row's worker count, keeping the w1 names identical
+// to the PR-4/PR-5 snapshots so trajectories stay comparable.
+func workerSuffix(w int) string {
+	if w == 1 {
+		return ""
+	}
+	return fmt.Sprintf("_w%d", w)
+}
+
+// pinned is the benchmark set every snapshot runs: the singleton engine
+// gate shapes, the hit path, the trial-fused estimator shapes at every
+// worker count, and the served-throughput rows.
+func pinned() []pinnedBench {
 	expander := graph.MargulisExpander(24)
 	expander4096 := graph.MargulisExpander(64)
-	return []struct {
-		name   string
-		trials int
-		fn     func(b *testing.B)
-	}{
+	rows := []pinnedBench{
 		{"KCoverEngineSeq/expander576", 0, func(b *testing.B) {
 			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
@@ -77,50 +96,62 @@ func pinned() []struct {
 				}
 			}
 		}},
-		{"EstimateKCoverTime/expander576_k64_t256_w1", 256, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				est, err := walk.EstimateKCoverTime(expander, 0, 64, walk.MCOptions{
-					Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 20,
-				})
-				if err != nil || est.Truncated != 0 {
-					b.Fatalf("estimate failed: %v", err)
-				}
-			}
-		}},
-		{"EstimateCoverTime/expander576_k1_t64_w1", 64, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				est, err := walk.EstimateCoverTime(expander, 0, walk.MCOptions{
-					Trials: 64, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 24,
-				})
-				if err != nil || est.Truncated != 0 {
-					b.Fatalf("estimate failed: %v", err)
-				}
-			}
-		}},
-		{"EstimateHittingTime/expander576_t256_w1", 256, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := walk.EstimateHittingTime(expander, 0, 300, walk.MCOptions{
-					Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 24,
-				}); err != nil {
-					b.Fatalf("estimate failed: %v", err)
-				}
-			}
-		}},
-		// Served-throughput rows: 256 concurrent clients issuing k=1
-		// hitting-time walk queries (the cmd/walkload acceptance shape);
-		// trials/sec is served queries/sec.
-		{"ServeWalkQuery/expander576_c256_coalesced", 1, servedThroughput(expander, false)},
-		{"ServeWalkQuery/expander576_c256_naive", 1, servedThroughput(expander, true)},
 	}
+	// Estimator rows at every worker count: identical per-trial samples,
+	// lane shards across Workers goroutines.
+	for _, w := range benchWorkerGrid {
+		w := w
+		rows = append(rows,
+			pinnedBench{"EstimateKCoverTime/expander576_k64_t256_w" + fmt.Sprint(w), 256, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					est, err := walk.EstimateKCoverTime(expander, 0, 64, walk.MCOptions{
+						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 20,
+					})
+					if err != nil || est.Truncated != 0 {
+						b.Fatalf("estimate failed: %v", err)
+					}
+				}
+			}},
+			pinnedBench{"EstimateCoverTime/expander576_k1_t64_w" + fmt.Sprint(w), 64, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					est, err := walk.EstimateCoverTime(expander, 0, walk.MCOptions{
+						Trials: 64, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
+					})
+					if err != nil || est.Truncated != 0 {
+						b.Fatalf("estimate failed: %v", err)
+					}
+				}
+			}},
+			pinnedBench{"EstimateHittingTime/expander576_t256_w" + fmt.Sprint(w), 256, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := walk.EstimateHittingTime(expander, 0, 300, walk.MCOptions{
+						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
+					}); err != nil {
+						b.Fatalf("estimate failed: %v", err)
+					}
+				}
+			}},
+		)
+	}
+	// Served-throughput rows: 256 concurrent clients issuing k=1
+	// hitting-time walk queries (the cmd/walkload acceptance shape);
+	// trials/sec is served queries/sec. The coalesced row sweeps the
+	// server's per-pass worker count (the w-less name is the w1 row of the
+	// earlier snapshots); the naive path has no grouped passes to shard.
+	rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_naive", 1, servedThroughput(expander, true, 1)})
+	for _, w := range benchWorkerGrid {
+		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, servedThroughput(expander, false, w)})
+	}
+	return rows
 }
 
 // servedThroughput benchmarks one query served through an in-process
 // serve.Server under 256 persistent concurrent clients; each op is one
 // query, so ns/op is the served per-query latency budget and trials/sec
 // (trials = 1) is queries/sec.
-func servedThroughput(g *graph.Graph, naive bool) func(b *testing.B) {
+func servedThroughput(g *graph.Graph, naive bool, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
-		s := serve.NewServer(serve.Options{NoCoalesce: naive, Workers: 1})
+		s := serve.NewServer(serve.Options{NoCoalesce: naive, Workers: workers})
 		defer s.Close()
 		if err := s.RegisterGraph("g", g); err != nil {
 			b.Fatal(err)
@@ -156,7 +187,7 @@ func servedThroughput(g *graph.Graph, naive bool) func(b *testing.B) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
 	flag.Parse()
 

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"manywalks/internal/walk"
+)
+
+// passArena is the reusable scratch of one grouped dispatch pass: the live
+// request set, the flattened lane seeds and placements, the spec's start
+// template, the caller-owned grouped result, and one persistent observer
+// of each kind. Arenas live in the server's sync.Pool, so a steady-state
+// dispatch tick — warm arena, warm engine cache — performs zero
+// allocations per pass: every buffer here reuses capacity, the observers
+// reuse their lane scratch and per-trial outputs through bindGroup, and
+// RunGroupedInto writes into the arena's result (the allocation gate in
+// alloc_test.go pins this at exactly 0 allocs/pass). Answers never alias
+// arena memory: QueryResult and Estimate are values, so delivery outlives
+// the arena's return to the pool.
+type passArena struct {
+	live       []*pending
+	seeds      []uint64
+	laneStarts [][]int32 // lane -> its request's placement
+	starts     []int32   // GroupedRunSpec.Starts template, len k
+	res        walk.GroupedResult
+
+	hit  *walk.GroupHitObserver
+	cov  *walk.GroupCoverObserver
+	meet *walk.GroupCollisionObserver
+	obs  []walk.GroupObserver // len 1; forwarded to avoid a variadic alloc
+
+	startsFor func(trial int, dst []int32) // closes over the arena, built once
+}
+
+// newPassArena builds an arena with its observers and its StartsFor
+// closure constructed once — the closure reads laneStarts through the
+// arena pointer, so refilling the slice per pass never re-creates it.
+func newPassArena() *passArena {
+	a := &passArena{
+		hit:  walk.NewGroupHitObserver(nil),
+		cov:  walk.NewGroupCoverObserver(0),
+		meet: walk.NewGroupCollisionObserver(false),
+		obs:  make([]walk.GroupObserver, 1),
+	}
+	a.startsFor = func(trial int, dst []int32) { copy(dst, a.laneStarts[trial]) }
+	return a
+}
+
+// getArena borrows a warm arena (or builds the pool's first).
+func (s *Server) getArena() *passArena {
+	if a, _ := s.arenas.Get().(*passArena); a != nil {
+		return a
+	}
+	return newPassArena()
+}
+
+// putArena returns an arena to the pool with its request and target
+// references dropped, so a parked arena never pins a client's pending
+// struct, placement slices, or a bucket's marked set. Capacities — and the
+// observers' internal state — are kept: that retained state is exactly the
+// warmth the zero-allocation contract depends on, and it is inert between
+// passes because bindGroup/startLane reinitialize every lane the next pass
+// touches (the arena-reuse regression test pins that no observer state
+// leaks across ticks).
+func (s *Server) putArena(a *passArena) {
+	clear(a.live)
+	a.live = a.live[:0]
+	clear(a.laneStarts)
+	a.laneStarts = a.laneStarts[:0]
+	a.seeds = a.seeds[:0]
+	a.hit.Marked = nil
+	a.obs[0] = nil
+	s.arenas.Put(a)
+}

@@ -266,67 +266,69 @@ func (s *Server) dispatchAll(drain bool) {
 
 // runBatch folds one batch into a single grouped pass and delivers every
 // request's answer. Requests whose context expired are skipped before the
-// pass so their lanes cost nothing.
+// pass so their lanes cost nothing. All per-pass scratch — lane seeds and
+// placements, the spec's start template, the grouped result, the observer
+// itself — comes from a pooled passArena, so a warm tick allocates
+// nothing (see arena.go).
 func (s *Server) runBatch(b *bucket) {
-	live := make([]*pending, 0, len(b.reqs))
-	lanes := 0
+	a := s.getArena()
+	defer s.putArena(a)
 	for _, r := range b.reqs {
 		if err := r.ctx.Err(); err != nil {
 			r.done <- answer{err: err}
 			continue
 		}
-		live = append(live, r)
-		lanes += len(r.seeds)
+		a.live = append(a.live, r)
+		for range r.seeds {
+			a.laneStarts = append(a.laneStarts, r.starts)
+		}
+		a.seeds = append(a.seeds, r.seeds...)
 	}
-	if len(live) == 0 {
+	if len(a.live) == 0 {
 		return
 	}
+	lanes := len(a.seeds)
 	ge, err := s.graphEntryFor(b.key.graph)
 	if err != nil {
-		deliverErr(live, err)
+		deliverErr(a.live, err)
 		return
 	}
 	eng := s.engineFor(ge, b.kernel)
 
-	seeds := make([]uint64, 0, lanes)
-	laneStarts := make([][]int32, 0, lanes)
-	for _, r := range live {
-		for range r.seeds {
-			laneStarts = append(laneStarts, r.starts)
-		}
-		seeds = append(seeds, r.seeds...)
+	if cap(a.starts) < b.key.k {
+		a.starts = make([]int32, b.key.k)
 	}
+	a.starts = a.starts[:b.key.k]
 	spec := walk.GroupedRunSpec{
 		Trials:    lanes,
-		Starts:    make([]int32, b.key.k),
-		StartsFor: func(trial int, dst []int32) { copy(dst, laneStarts[trial]) },
-		Seeds:     seeds,
+		Starts:    a.starts,
+		StartsFor: a.startsFor,
+		Seeds:     a.seeds,
 		MaxRounds: b.key.horizon,
 		Workers:   s.opts.Workers,
 	}
-	var obs walk.GroupObserver
 	switch b.key.obs {
 	case obsHit:
-		obs = walk.NewGroupHitObserver(b.marked)
+		a.hit.Marked = b.marked
+		a.obs[0] = a.hit
 	case obsCover:
-		obs = walk.NewGroupCoverObserver(0)
+		a.obs[0] = a.cov
 	case obsMeet:
-		obs = walk.NewGroupCollisionObserver(false)
+		a.obs[0] = a.meet
 	}
-	res, err := eng.RunGrouped(spec, obs)
-	if err != nil {
+	if err := eng.RunGroupedInto(spec, &a.res, a.obs...); err != nil {
 		// Validation happens at submit, so this is unreachable in normal
 		// operation; fail every request loudly rather than panicking the
 		// dispatcher.
-		deliverErr(live, err)
+		deliverErr(a.live, err)
 		return
 	}
 	s.nPasses.Add(1)
 	s.nLanes.Add(int64(lanes))
 	off := 0
-	for _, r := range live {
+	for _, r := range a.live {
 		n := len(r.seeds)
-		part := walk.GroupedResult{Rounds: res.Rounds[off : off+n], Stopped: res.Stopped[off : off+n]}
+		part := walk.GroupedResult{Rounds: a.res.Rounds[off : off+n], Stopped: a.res.Stopped[off : off+n]}
 		r.done <- answerFor(r, part)
 		off += n
 	}

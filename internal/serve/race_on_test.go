@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build;
+// its shadow-memory bookkeeping allocates, so the zero-allocation gate is
+// meaningless under -race and skips itself.
+const raceEnabled = true

@@ -102,6 +102,7 @@ type Server struct {
 	wg      sync.WaitGroup
 	passSem chan struct{}
 	passWG  sync.WaitGroup
+	arenas  sync.Pool // of *passArena; see arena.go
 
 	nRequests atomic.Int64
 	nNaive    atomic.Int64

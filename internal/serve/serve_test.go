@@ -3,6 +3,10 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"slices"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +15,21 @@ import (
 	"manywalks/internal/netsim"
 	"manywalks/internal/walk"
 )
+
+// serveWorkerGrid returns the server worker counts the served-vs-standalone
+// suites sweep: the singleton baseline and a multicore pass. The standalone
+// references are always computed sequentially, so every grid point pins
+// that multicore coalesced passes answer bit-for-bit identically.
+// MANYWALKS_TEST_WORKERS appends an extra count (set by the CI -race job).
+func serveWorkerGrid() []int {
+	ws := []int{1, 4}
+	if v := os.Getenv("MANYWALKS_TEST_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && !slices.Contains(ws, n) {
+			ws = append(ws, n)
+		}
+	}
+	return ws
+}
 
 // newTestServer returns a coalesced server with the standard test graphs
 // registered.
@@ -37,9 +56,17 @@ func testGraphs() map[string]*graph.Graph {
 // TestServedWalkQueryMatchesStandalone pins the bit-for-bit contract for
 // coalesced walk queries: every answer served through a grouped batch
 // equals netsim.RunWalkQueryEngine for the same seed — across origins, k,
-// and kernels sharing the pass.
+// kernels sharing the pass, and server worker counts.
 func TestServedWalkQueryMatchesStandalone(t *testing.T) {
-	s := newTestServer(t, Options{})
+	for _, workers := range serveWorkerGrid() {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			testServedWalkQueryMatchesStandalone(t, workers)
+		})
+	}
+}
+
+func testServedWalkQueryMatchesStandalone(t *testing.T, workers int) {
+	s := newTestServer(t, Options{Workers: workers})
 	graphs := testGraphs()
 	type q struct {
 		req  WalkQueryRequest
@@ -90,9 +117,17 @@ func TestServedWalkQueryMatchesStandalone(t *testing.T) {
 
 // TestServedEstimatesMatchStandalone pins coalesced hitting/cover/meeting
 // estimates against the standalone estimators, submitted concurrently with
-// mixed shapes.
+// mixed shapes, at every server worker count.
 func TestServedEstimatesMatchStandalone(t *testing.T) {
-	s := newTestServer(t, Options{})
+	for _, workers := range serveWorkerGrid() {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			testServedEstimatesMatchStandalone(t, workers)
+		})
+	}
+}
+
+func testServedEstimatesMatchStandalone(t *testing.T, workers int) {
+	s := newTestServer(t, Options{Workers: workers})
 	graphs := testGraphs()
 	opts := func(seed uint64) walk.MCOptions {
 		return walk.MCOptions{Trials: 12, Workers: 1, Seed: seed, MaxSteps: 1 << 16}
@@ -169,9 +204,17 @@ func TestServedEstimatesMatchStandalone(t *testing.T) {
 
 // TestNaiveMatchesCoalesced pins the two dispatch modes against each other:
 // the naive per-request path and the coalesced path must serve identical
-// answers for identical requests.
+// answers for identical requests, at every coalesced worker count.
 func TestNaiveMatchesCoalesced(t *testing.T) {
-	co := newTestServer(t, Options{})
+	for _, workers := range serveWorkerGrid() {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			testNaiveMatchesCoalesced(t, workers)
+		})
+	}
+}
+
+func testNaiveMatchesCoalesced(t *testing.T, workers int) {
+	co := newTestServer(t, Options{Workers: workers})
 	na := newTestServer(t, Options{NoCoalesce: true})
 	for seed := uint64(0); seed < 8; seed++ {
 		req := WalkQueryRequest{Graph: "expander64", Origin: int32(seed), K: 2, TTL: 1 << 14, Targets: []int32{60}, Seed: seed}

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"fmt"
 	"testing"
 
 	"manywalks/internal/graph"
@@ -78,27 +79,36 @@ func BenchmarkKCoverEngineSeq(b *testing.B) {
 	}
 }
 
+// estimatorWorkerGrid is the Workers sweep of the estimator benchmarks:
+// the singleton baseline the PR-4/PR-5 snapshots pinned, and the multicore
+// shard counts whose scaling the BENCH_PR6 rows record. Per-trial samples
+// are identical at every point — Workers only shards the trial lanes.
+var estimatorWorkerGrid = []int{1, 4, 8}
+
 // BenchmarkEstimateKCoverTime measures the whole Monte Carlo estimator —
 // the paper-facing workload behind every Table-1 number — at the pinned
-// shape: the Table-1 expander (n=576), k=64 walkers, 256 trials, one
-// worker. The acceptance target of the trial-fused driver is >=2x
-// trials/sec against the sequential-trials baseline at this exact shape.
+// shape: the Table-1 expander (n=576), k=64 walkers, 256 trials. The w1
+// row is the PR-4 acceptance baseline (>=2x trials/sec against
+// sequential trials); the multicore rows track lane-shard scaling.
 func BenchmarkEstimateKCoverTime(b *testing.B) {
 	g := graph.MargulisExpander(24)
 	const trials = 256
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		est, err := EstimateKCoverTime(g, 0, benchK, MCOptions{
-			Trials:   trials,
-			Workers:  1,
-			Seed:     uint64(i),
-			MaxSteps: 1 << 20,
+	for _, workers := range estimatorWorkerGrid {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := EstimateKCoverTime(g, 0, benchK, MCOptions{
+					Trials:   trials,
+					Workers:  workers,
+					Seed:     uint64(i),
+					MaxSteps: 1 << 20,
+				})
+				if err != nil || est.Truncated != 0 {
+					b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 		})
-		if err != nil || est.Truncated != 0 {
-			b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
-		}
 	}
-	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 }
 
 // hitBenchSetup builds the marked-vertex search workload shared by the
@@ -185,21 +195,51 @@ func BenchmarkKWalkThroughput(b *testing.B) {
 
 // BenchmarkEstimateCoverTimeK1 tracks the single-walker estimator shape
 // (hitting-time-style lanes of one walker each), where trial fusion must
-// not regress the short-lane bookkeeping.
+// not regress the short-lane bookkeeping and multicore sharding pays off
+// most directly (64 fully independent one-walker lanes).
 func BenchmarkEstimateCoverTimeK1(b *testing.B) {
 	g := graph.MargulisExpander(24)
 	const trials = 64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		est, err := EstimateCoverTime(g, 0, MCOptions{
-			Trials:   trials,
-			Workers:  1,
-			Seed:     uint64(i),
-			MaxSteps: 1 << 24,
+	for _, workers := range estimatorWorkerGrid {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := EstimateCoverTime(g, 0, MCOptions{
+					Trials:   trials,
+					Workers:  workers,
+					Seed:     uint64(i),
+					MaxSteps: 1 << 24,
+				})
+				if err != nil || est.Truncated != 0 {
+					b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 		})
-		if err != nil || est.Truncated != 0 {
-			b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
-		}
 	}
-	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}
+
+// BenchmarkEstimateHittingTime measures the hitting-time estimator — 256
+// single-walker trials hunting one target on the Table-1 expander, the
+// acceptance workload of the multicore sharding PR: trials/sec at w4 vs
+// w1 is the scaling figure recorded in BENCH_PR6.json.
+func BenchmarkEstimateHittingTime(b *testing.B) {
+	g := graph.MargulisExpander(24)
+	const trials = 256
+	target := int32(g.N() / 2)
+	for _, workers := range estimatorWorkerGrid {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := EstimateHittingTime(g, 0, target, MCOptions{
+					Trials:   trials,
+					Workers:  workers,
+					Seed:     uint64(i),
+					MaxSteps: 1 << 20,
+				})
+				if err != nil || est.Truncated != 0 {
+					b.Fatalf("estimate failed: %v (truncated %d)", err, est.Truncated)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+		})
+	}
 }

@@ -141,9 +141,12 @@ type laneCelled interface {
 // set unchanged.
 type groupState struct {
 	runState
-	laneK     int     // walkers per lane
-	lanes     int     // active lanes; lane j owns walkers [j*laneK, (j+1)*laneK)
-	laneTrial []int32 // active lane -> trial index
+	laneK      int        // walkers per lane
+	lanes      int        // active lanes; lane j owns walkers [j*laneK, (j+1)*laneK)
+	laneTrial  []int32    // active lane -> trial index
+	laneStarts []int32    // seeding scratch, len laneK
+	driver     rng.Source // per-trial driver-stream scratch (pooled: its pointer flows into spec.Place, so a local would escape)
+	wg         sync.WaitGroup
 }
 
 // newGroupState borrows or allocates chunk state for lanes trial lanes of
@@ -173,7 +176,20 @@ func (e *Engine) newGroupState(lanes, k int) *groupState {
 		gst.laneTrial = make([]int32, lanes)
 	}
 	gst.laneTrial = gst.laneTrial[:lanes]
+	gst.laneStarts = growSlice(gst.laneStarts, k)
 	return gst
+}
+
+// growSlice returns s resized to n, reusing capacity when it suffices.
+// Contents are unspecified: callers overwrite every slot before reading.
+// It is the reuse primitive behind RunGroupedInto's zero-steady-state
+// allocation contract — once a buffer has reached its high-water mark,
+// later runs of the same or smaller shape never touch the allocator.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // retireLane compacts lane ln out of the active set: the last active
@@ -281,8 +297,23 @@ func (e *Engine) validateGrouped(spec *GroupedRunSpec, obs []GroupObserver) erro
 // Engine.Run with the derivation documented on GroupedRunSpec, regardless
 // of Workers, batch partitioning, and chunking.
 func (e *Engine) RunGrouped(spec GroupedRunSpec, observers ...GroupObserver) (GroupedResult, error) {
-	if err := e.validateGrouped(&spec, observers); err != nil {
+	var res GroupedResult
+	if err := e.RunGroupedInto(spec, &res, observers...); err != nil {
 		return GroupedResult{}, err
+	}
+	return res, nil
+}
+
+// RunGroupedInto is RunGrouped writing its outcome into a caller-owned
+// result, reusing res.Rounds/res.Stopped capacity when it suffices. A
+// caller that keeps res (and its observers) across passes reaches zero
+// steady-state allocation: the engine's chunk state is pooled, the
+// observers reuse their lane scratch and per-trial outputs, and this entry
+// point removes the last per-pass make — the shape the serving layer's
+// dispatch ticks run. On error the contents of res are unspecified.
+func (e *Engine) RunGroupedInto(spec GroupedRunSpec, res *GroupedResult, observers ...GroupObserver) error {
+	if err := e.validateGrouped(&spec, observers); err != nil {
+		return err
 	}
 	k := len(spec.Starts)
 	cellsPerLane := 0
@@ -301,30 +332,28 @@ func (e *Engine) RunGrouped(spec GroupedRunSpec, observers ...GroupObserver) (Gr
 	for _, o := range observers {
 		o.bindGroup(e, spec.Trials, chunk, k, workers)
 	}
-	res := GroupedResult{
-		Rounds:  make([]int64, spec.Trials),
-		Stopped: make([]bool, spec.Trials),
-	}
+	res.Rounds = growSlice(res.Rounds, spec.Trials)
+	res.Stopped = growSlice(res.Stopped, spec.Trials)
 	gst := e.newGroupState(chunk, k)
 	defer e.gpool.Put(gst)
-	laneStarts := make([]int32, k)
-	var driver rng.Source
 	for c0 := 0; c0 < spec.Trials; c0 += chunk {
 		m := chunk
 		if m > spec.Trials-c0 {
 			m = spec.Trials - c0
 		}
-		if err := e.runGroupedChunk(gst, &spec, observers, &res, c0, m, &driver, laneStarts); err != nil {
-			return GroupedResult{}, err
+		if err := e.runGroupedChunk(gst, &spec, observers, res, c0, m); err != nil {
+			return err
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // seedLane derives and installs trial's placement and walker streams into
 // lane ln, mirroring the sequential derivation exactly.
-func (e *Engine) seedLane(gst *groupState, spec *GroupedRunSpec, ln, trial int, driver *rng.Source, laneStarts []int32) error {
+func (e *Engine) seedLane(gst *groupState, spec *GroupedRunSpec, ln, trial int) error {
 	k := gst.laneK
+	driver := &gst.driver
+	laneStarts := gst.laneStarts
 	copy(laneStarts, spec.Starts)
 	if spec.StartsFor != nil {
 		spec.StartsFor(trial, laneStarts)
@@ -399,12 +428,12 @@ func retireSatisfied(gst *groupState, obs []GroupObserver, res *GroupedResult) {
 }
 
 // runGroupedChunk drives trials [c0, c0+m) to completion.
-func (e *Engine) runGroupedChunk(gst *groupState, spec *GroupedRunSpec, obs []GroupObserver, res *GroupedResult, c0, m int, driver *rng.Source, laneStarts []int32) error {
+func (e *Engine) runGroupedChunk(gst *groupState, spec *GroupedRunSpec, obs []GroupObserver, res *GroupedResult, c0, m int) error {
 	k := gst.laneK
 	gst.lanes = m
 	gst.k = m * k
 	for ln := 0; ln < m; ln++ {
-		if err := e.seedLane(gst, spec, ln, c0+ln, driver, laneStarts); err != nil {
+		if err := e.seedLane(gst, spec, ln, c0+ln); err != nil {
 			return err
 		}
 		for _, o := range obs {
@@ -446,59 +475,86 @@ func (e *Engine) runGroupedChunk(gst *groupState, spec *GroupedRunSpec, obs []Gr
 	return nil
 }
 
-// groupShards partitions the active lanes into one contiguous lane range
-// per worker and runs fn concurrently, mirroring runState.each.
-func (gst *groupState) groupShards(workers int, fn func(w, loLane, hiLane int)) {
-	if workers > gst.lanes {
-		workers = gst.lanes
-	}
-	if workers <= 1 {
-		fn(0, 0, gst.lanes)
-		return
-	}
-	chunk := (gst.lanes + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := min(w*chunk, gst.lanes)
-		hi := min(lo+chunk, gst.lanes)
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}()
-	}
-	wg.Wait()
+// laneShardSpan returns worker w's contiguous lane range when lanes are
+// split across workers (the same arithmetic runState.each uses for walker
+// shards). Lane ownership — not execution order — determines every draw
+// and every scan, so the partition only has to be a pure function of
+// (lanes, workers, w) for results to be independent of scheduling.
+func laneShardSpan(lanes, workers, w int) (lo, hi int) {
+	chunk := (lanes + workers - 1) / workers
+	lo = min(w*chunk, lanes)
+	hi = min(lo+chunk, lanes)
+	return lo, hi
 }
 
 // runGroupedGeneric is the kernel-agnostic grouped driver: every batch,
 // each worker advances its lane range round-major through the engine's
 // stepRound and hands each fresh round to the observers' lane scans; the
 // barrier retires satisfied lanes and compacts. Batches span whole draw
-// groups, so compaction never splits a reservoir.
+// groups, so compaction never splits a reservoir. Shards are spawned as
+// direct method calls — not closures — so a barrier costs the runtime's
+// goroutine wrappers and nothing else, and the Workers=1 path performs no
+// allocation at all.
 func (e *Engine) runGroupedGeneric(gst *groupState, spec *GroupedRunSpec, obs []GroupObserver, res *GroupedResult) {
-	k := gst.laneK
+	// Multicore passes step the engine's full parallel batch between
+	// barriers to amortize spawn cost; the singleton path keeps the shorter
+	// sequential batch (better early-stop granularity). Batch size only
+	// moves the barriers — per-trial outcomes are invariant, pinned by the
+	// BatchRounds grids in TestFusedMatchesSequentialTrials and
+	// TestGroupedDeterministicAcrossWorkers.
 	batch := e.seqBatch
+	if spec.Workers > 1 {
+		batch = e.batch
+	}
 	for t0 := int64(0); gst.lanes > 0 && t0 < spec.MaxRounds; {
 		b := batch
 		if int64(b) > spec.MaxRounds-t0 {
 			b = int(spec.MaxRounds - t0)
 		}
-		gst.groupShards(spec.Workers, func(w, loLane, hiLane int) {
-			lo, hi := loLane*k, hiLane*k
-			for j := 0; j < b; j++ {
-				t := t0 + int64(j) + 1
-				e.stepRound(&gst.runState, lo, hi, t)
-				for _, o := range obs {
-					o.scanRound(gst, loLane, hiLane, w, t)
+		workers := spec.Workers
+		if workers > gst.lanes {
+			workers = gst.lanes
+		}
+		if workers <= 1 {
+			e.genericShard(gst, obs, b, t0, 0, 0, gst.lanes)
+		} else {
+			for w := 0; w < workers; w++ {
+				lo, hi := laneShardSpan(gst.lanes, workers, w)
+				if lo == hi {
+					continue
 				}
+				gst.wg.Add(1)
+				go e.genericShardAsync(gst, obs, b, t0, w, lo, hi)
 			}
-		})
+			gst.wg.Wait()
+		}
 		t0 += int64(b)
 		retireSatisfied(gst, obs, res)
 	}
+}
+
+// genericShard advances lanes [loLane, hiLane) through rounds
+// (t0, t0+b], handing each fresh round to the observers' lane scans; w
+// selects the worker-private observer scratch. It touches only its lane
+// range and worker scratch, so concurrent shards never share mutable
+// state.
+func (e *Engine) genericShard(gst *groupState, obs []GroupObserver, b int, t0 int64, w, loLane, hiLane int) {
+	k := gst.laneK
+	lo, hi := loLane*k, hiLane*k
+	for j := 0; j < b; j++ {
+		t := t0 + int64(j) + 1
+		e.stepRound(&gst.runState, lo, hi, t)
+		for _, o := range obs {
+			o.scanRound(gst, loLane, hiLane, w, t)
+		}
+	}
+}
+
+// genericShardAsync is genericShard plus the barrier arrival, the form the
+// multicore spawn uses.
+func (e *Engine) genericShardAsync(gst *groupState, obs []GroupObserver, b int, t0 int64, w, loLane, hiLane int) {
+	defer gst.wg.Done()
+	e.genericShard(gst, obs, b, t0, w, loLane, hiLane)
 }
 
 // ---------------------------------------------------------------------------
@@ -561,11 +617,7 @@ func (o *GroupCoverObserver) bindGroup(e *Engine, trials, lanes, k, workers int)
 	if o.target == 0 {
 		o.target = n
 	}
-	cells := lanes * n
-	if cap(o.first) < cells {
-		o.first = make([]uint32, cells)
-	}
-	o.first = o.first[:cells]
+	o.first = growSlice(o.first, lanes*n)
 	if cap(o.laneOff) < lanes {
 		o.laneOff = make([]int32, lanes)
 		o.counts = make([]int32, lanes)
@@ -575,9 +627,13 @@ func (o *GroupCoverObserver) bindGroup(e *Engine, trials, lanes, k, workers int)
 	for i := range o.laneOff {
 		o.laneOff[i] = int32(i)
 	}
-	o.outCount = make([]int32, trials)
+	// Per-trial outputs reuse capacity across binds: finishLane overwrites
+	// every trial's slot exactly once per run, so no clearing is needed and
+	// a rebinding observer (the serving layer's pooled arenas) allocates
+	// nothing in steady state.
+	o.outCount = growSlice(o.outCount, trials)
 	if o.RecordFirst {
-		o.outFirst = make([][]int64, trials)
+		o.outFirst = growSlice(o.outFirst, trials)
 	} else {
 		o.outFirst = nil
 	}
@@ -728,9 +784,9 @@ func (o *GroupHitObserver) bindGroup(e *Engine, trials, lanes, k, workers int) {
 	for i := range o.lnOff {
 		o.lnOff[i] = int32(i)
 	}
-	o.outHit = make([]bool, trials)
-	o.outVertex = make([]int32, trials)
-	o.outWalker = make([]int32, trials)
+	o.outHit = growSlice(o.outHit, trials)
+	o.outVertex = growSlice(o.outVertex, trials)
+	o.outWalker = growSlice(o.outWalker, trials)
 }
 
 func (o *GroupHitObserver) startLane(ln, trial int, starts []int32) {
@@ -838,10 +894,7 @@ func (o *GroupCollisionObserver) validateGroup(n, k, trials int) error {
 func (o *GroupCollisionObserver) bindGroup(e *Engine, trials, lanes, k, workers int) {
 	n := e.g.N()
 	o.k = k
-	if cap(o.parent) < lanes*k {
-		o.parent = make([]int32, lanes*k)
-	}
-	o.parent = o.parent[:lanes*k]
+	o.parent = growSlice(o.parent, lanes*k)
 	if cap(o.lnOff) < lanes {
 		o.lnOff = make([]int32, lanes)
 		o.groups = make([]int32, lanes)
@@ -875,9 +928,9 @@ func (o *GroupCollisionObserver) bindGroup(e *Engine, trials, lanes, k, workers 
 		}
 		o.token[w] = 0
 	}
-	o.outMeet = make([]int64, trials)
-	o.outCoal = make([]int64, trials)
-	o.outGroups = make([]int32, trials)
+	o.outMeet = growSlice(o.outMeet, trials)
+	o.outCoal = growSlice(o.outCoal, trials)
+	o.outGroups = growSlice(o.outGroups, trials)
 }
 
 func (o *GroupCollisionObserver) startLane(ln, trial int, starts []int32) {

@@ -457,30 +457,61 @@ func (cov *GroupCoverObserver) resolveCrossings(loLane, hiLane int, tlo, thi uin
 // immediately, so the heavy tail of slow trials costs exactly its own
 // rounds — the lane-major form of the generic path's swap-compaction.
 func (e *Engine) runGroupedFusedCover(gst *groupState, spec *GroupedRunSpec, cov *GroupCoverObserver, res *GroupedResult) {
-	group := int64(e.group)
-	gst.groupShards(spec.Workers, func(w, loLane, hiLane int) {
-		for ln := loLane; ln < hiLane; ln++ {
-			sl := cov.laneOff[ln]
-			for t0 := int64(0); cov.done[sl] < 0 && t0 < spec.MaxRounds; t0 += group {
-				b := group
-				if b > spec.MaxRounds-t0 {
-					b = spec.MaxRounds - t0
-				}
-				e.laneGroup(gst, cov, ln, sl, uint32(t0), int(b/2), b%2 == 1)
+	workers := spec.Workers
+	if workers > gst.lanes {
+		workers = gst.lanes
+	}
+	if workers <= 1 {
+		e.fusedCoverShard(gst, spec.MaxRounds, cov, res, 0, gst.lanes)
+	} else {
+		// One spawn per worker per chunk (not per barrier): each worker
+		// owns its contiguous lane range for the lanes' whole lives, so a
+		// multicore fused pass costs exactly `workers` goroutine wrappers.
+		for w := 0; w < workers; w++ {
+			lo, hi := laneShardSpan(gst.lanes, workers, w)
+			if lo == hi {
+				continue
 			}
-			// Direct retirement: lanes are worker-owned and trials are
-			// distinct, so recording results here is race-free.
-			trial := int(gst.laneTrial[ln])
-			if s := cov.done[sl]; s >= 0 {
-				res.Rounds[trial] = s
-				res.Stopped[trial] = true
-				cov.finishLane(ln, trial, s, true)
-			} else {
-				res.Rounds[trial] = spec.MaxRounds
-				res.Stopped[trial] = false
-				cov.finishLane(ln, trial, spec.MaxRounds, false)
-			}
+			gst.wg.Add(1)
+			go e.fusedCoverShardAsync(gst, spec.MaxRounds, cov, res, lo, hi)
 		}
-	})
+		gst.wg.Wait()
+	}
 	gst.lanes = 0
+}
+
+// fusedCoverShard drives lanes [loLane, hiLane) to completion on the
+// fused path. Lanes are shard-owned and trials distinct, so direct
+// retirement — recording each finished trial's outcome immediately — is
+// race-free, and a lane's draws depend only on its own streams: results
+// are identical no matter how lanes are partitioned.
+func (e *Engine) fusedCoverShard(gst *groupState, maxRounds int64, cov *GroupCoverObserver, res *GroupedResult, loLane, hiLane int) {
+	group := int64(e.group)
+	for ln := loLane; ln < hiLane; ln++ {
+		sl := cov.laneOff[ln]
+		for t0 := int64(0); cov.done[sl] < 0 && t0 < maxRounds; t0 += group {
+			b := group
+			if b > maxRounds-t0 {
+				b = maxRounds - t0
+			}
+			e.laneGroup(gst, cov, ln, sl, uint32(t0), int(b/2), b%2 == 1)
+		}
+		trial := int(gst.laneTrial[ln])
+		if s := cov.done[sl]; s >= 0 {
+			res.Rounds[trial] = s
+			res.Stopped[trial] = true
+			cov.finishLane(ln, trial, s, true)
+		} else {
+			res.Rounds[trial] = maxRounds
+			res.Stopped[trial] = false
+			cov.finishLane(ln, trial, maxRounds, false)
+		}
+	}
+}
+
+// fusedCoverShardAsync is fusedCoverShard plus the barrier arrival, the
+// form the multicore spawn uses.
+func (e *Engine) fusedCoverShardAsync(gst *groupState, maxRounds int64, cov *GroupCoverObserver, res *GroupedResult, loLane, hiLane int) {
+	defer gst.wg.Done()
+	e.fusedCoverShard(gst, maxRounds, cov, res, loLane, hiLane)
 }
