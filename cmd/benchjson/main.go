@@ -8,10 +8,13 @@
 // naive per-request dispatch). Since BENCH_PR6 the estimator and coalesced
 // serving rows sweep Workers over {1,4,8}; every sweep point draws
 // bit-identical samples, so the rows measure pure lane-shard scaling.
+// Since BENCH_PR7 the set adds GenerateCorpus rows — bulk truncated walks
+// from every vertex streamed to a discard sink — reporting steps_per_sec
+// (walker-steps/sec), the corpus acceptance unit.
 //
 // Usage:
 //
-//	benchjson [-o BENCH.json] [-count 3]
+//	benchjson [-o BENCH.json] [-count 3] [-bench regexp]
 package main
 
 import (
@@ -19,7 +22,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -34,12 +39,14 @@ type row struct {
 	Bench        string  `json:"bench"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+	StepsPerSec  float64 `json:"steps_per_sec,omitempty"`
 }
 
 // pinnedBench is one named benchmark of the snapshot set.
 type pinnedBench struct {
 	name   string
-	trials int // per op; 0 for non-estimator rows
+	trials int   // per op; 0 for non-estimator rows
+	steps  int64 // walker steps per op; 0 for non-corpus rows
 	fn     func(b *testing.B)
 }
 
@@ -67,7 +74,7 @@ func pinned() []pinnedBench {
 	expander := graph.MargulisExpander(24)
 	expander4096 := graph.MargulisExpander(64)
 	rows := []pinnedBench{
-		{"KCoverEngineSeq/expander576", 0, func(b *testing.B) {
+		{"KCoverEngineSeq/expander576", 0, 0, func(b *testing.B) {
 			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
 				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
@@ -75,7 +82,7 @@ func pinned() []pinnedBench {
 				}
 			}
 		}},
-		{"KCoverEngineSeq/expander4096", 0, func(b *testing.B) {
+		{"KCoverEngineSeq/expander4096", 0, 0, func(b *testing.B) {
 			eng := walk.NewEngine(expander4096, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
 				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
@@ -83,7 +90,7 @@ func pinned() []pinnedBench {
 				}
 			}
 		}},
-		{"KHitEngine/expander576", 0, func(b *testing.B) {
+		{"KHitEngine/expander576", 0, 0, func(b *testing.B) {
 			marked := make([]bool, expander.N())
 			for v := 50; v < expander.N(); v += 97 {
 				marked[v] = true
@@ -102,7 +109,7 @@ func pinned() []pinnedBench {
 	for _, w := range benchWorkerGrid {
 		w := w
 		rows = append(rows,
-			pinnedBench{"EstimateKCoverTime/expander576_k64_t256_w" + fmt.Sprint(w), 256, func(b *testing.B) {
+			pinnedBench{"EstimateKCoverTime/expander576_k64_t256_w" + fmt.Sprint(w), 256, 0, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					est, err := walk.EstimateKCoverTime(expander, 0, 64, walk.MCOptions{
 						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 20,
@@ -112,7 +119,7 @@ func pinned() []pinnedBench {
 					}
 				}
 			}},
-			pinnedBench{"EstimateCoverTime/expander576_k1_t64_w" + fmt.Sprint(w), 64, func(b *testing.B) {
+			pinnedBench{"EstimateCoverTime/expander576_k1_t64_w" + fmt.Sprint(w), 64, 0, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					est, err := walk.EstimateCoverTime(expander, 0, walk.MCOptions{
 						Trials: 64, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
@@ -122,7 +129,7 @@ func pinned() []pinnedBench {
 					}
 				}
 			}},
-			pinnedBench{"EstimateHittingTime/expander576_t256_w" + fmt.Sprint(w), 256, func(b *testing.B) {
+			pinnedBench{"EstimateHittingTime/expander576_t256_w" + fmt.Sprint(w), 256, 0, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := walk.EstimateHittingTime(expander, 0, 300, walk.MCOptions{
 						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
@@ -138,11 +145,41 @@ func pinned() []pinnedBench {
 	// trials/sec is served queries/sec. The coalesced row sweeps the
 	// server's per-pass worker count (the w-less name is the w1 row of the
 	// earlier snapshots); the naive path has no grouped passes to shard.
-	rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_naive", 1, servedThroughput(expander, true, 1)})
+	rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_naive", 1, 0, servedThroughput(expander, true, 1)})
 	for _, w := range benchWorkerGrid {
-		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, servedThroughput(expander, false, w)})
+		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, 0, servedThroughput(expander, false, w)})
+	}
+	// Corpus-throughput rows (new in PR 7): 10 truncated walks of length 80
+	// from every vertex of the 4096-vertex expander, streamed to a discard
+	// sink; steps/sec is walker-steps/sec, the corpus acceptance unit. Text
+	// and binary differ only in encoder cost.
+	corpusSteps := int64(expander4096.N()) * 10 * 80
+	for _, w := range []int{1, 4} {
+		rows = append(rows,
+			pinnedBench{"GenerateCorpus/expander4096_w10_l80_text" + workerSuffix(w), 0, corpusSteps,
+				corpusThroughput(expander4096, walk.CorpusText, w)},
+			pinnedBench{"GenerateCorpus/expander4096_w10_l80_binary" + workerSuffix(w), 0, corpusSteps,
+				corpusThroughput(expander4096, walk.CorpusBinary, w)},
+		)
 	}
 	return rows
+}
+
+// corpusThroughput benchmarks GenerateCorpus end to end — grouped engine
+// passes plus the encoder — with the corpus streamed to io.Discard so the
+// row measures generation, not disk.
+func corpusThroughput(g *graph.Graph, format walk.CorpusFormat, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		eng := walk.NewEngine(g, walk.EngineOptions{Workers: workers})
+		for i := 0; i < b.N; i++ {
+			spec := walk.CorpusSpec{
+				WalksPerVertex: 10, Length: 80, Seed: uint64(i), Format: format, Workers: workers,
+			}
+			if _, err := eng.GenerateCorpus(spec, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // servedThroughput benchmarks one query served through an in-process
@@ -187,12 +224,24 @@ func servedThroughput(g *graph.Graph, naive bool, workers int) func(b *testing.B
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
+	match := flag.String("bench", "", "run only benchmarks whose name matches this regexp (CI smoke)")
 	flag.Parse()
 
+	var filter *regexp.Regexp
+	if *match != "" {
+		var err error
+		if filter, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
 	rows := make([]row, 0, 8)
 	for _, p := range pinned() {
+		if filter != nil && !filter.MatchString(p.name) {
+			continue
+		}
 		best := testing.BenchmarkResult{}
 		for c := 0; c < *count; c++ {
 			res := testing.Benchmark(p.fn)
@@ -204,12 +253,22 @@ func main() {
 		if p.trials > 0 && best.T > 0 {
 			r.TrialsPerSec = float64(p.trials) * float64(best.N) / best.T.Seconds()
 		}
+		if p.steps > 0 && best.T > 0 {
+			r.StepsPerSec = float64(p.steps) * float64(best.N) / best.T.Seconds()
+		}
 		rows = append(rows, r)
-		fmt.Printf("%-45s %12.0f ns/op", r.Bench, r.NsPerOp)
+		fmt.Printf("%-48s %12.0f ns/op", r.Bench, r.NsPerOp)
 		if r.TrialsPerSec > 0 {
 			fmt.Printf(" %10.0f trials/sec", r.TrialsPerSec)
 		}
+		if r.StepsPerSec > 0 {
+			fmt.Printf(" %12.3g steps/sec", r.StepsPerSec)
+		}
 		fmt.Println()
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks match", *match)
+		os.Exit(2)
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

@@ -1,0 +1,173 @@
+// Command corpusgen generates a random-walk corpus: walksPerVertex
+// truncated walks of a fixed length from every vertex of a graph, the
+// DeepWalk/node2vec ingestion workload. Walks run as trial lanes through
+// the grouped engine — thousands of lanes per pass, sharded across
+// workers — and stream out in deterministic vertex order, so the corpus
+// never resides in memory and the bytes are identical for every Workers
+// and batch setting.
+//
+// Usage:
+//
+//	corpusgen -graph hypercube:20 -walks 10 -length 80 -o corpus.txt
+//	corpusgen -i graph.mwal -format binary -kernel nobacktrack -o corpus.bin
+//
+// With no -o the corpus goes to stdout and the report to stderr.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/walk"
+)
+
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
+
+// countingWriter tracks bytes written so the report can state the corpus
+// size without re-statting the destination.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// loadGraph resolves the input flags: an explicit file wins over a
+// generator spec.
+func loadGraph(input, spec string) (*graph.Graph, error) {
+	if input != "" {
+		return graph.Open(input)
+	}
+	return graph.ParseSpec(spec)
+}
+
+func parseFormat(s string) (walk.CorpusFormat, error) {
+	switch s {
+	case "text", "txt":
+		return walk.CorpusText, nil
+	case "binary", "bin":
+		return walk.CorpusBinary, nil
+	}
+	return 0, fmt.Errorf("unknown corpus format %q (want text or binary)", s)
+}
+
+// run is the testable body of main: report and progress go to report,
+// and the corpus goes to -o (or corpusOut when -o is empty — main wires
+// stdout there).
+func run(args []string, report, corpusOut io.Writer) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	fs.SetOutput(report)
+	input := fs.String("i", "", "input graph file (binary or edge list); overrides -graph")
+	spec := fs.String("graph", "margulis:32", "generator spec when no input file is given")
+	walks := fs.Int("walks", 10, "walks started from every vertex")
+	length := fs.Int("length", 80, "steps per walk (a walk records length+1 vertices)")
+	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	workers := fs.Int("workers", 0, "workers per grouped pass (0 = all CPUs)")
+	seed := fs.Uint64("seed", 1, "corpus seed; walk t draws from stream t of this seed")
+	formatFlag := fs.String("format", "text", "corpus encoding: text or binary")
+	out := fs.String("o", "", "corpus destination (default stdout)")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
+	format, err := parseFormat(*formatFlag)
+	if err != nil {
+		return usage(err)
+	}
+	kernel, err := walk.ParseKernel(*kernelFlag)
+	if err != nil {
+		return usage(err)
+	}
+	g, err := loadGraph(*input, *spec)
+	if err != nil {
+		return usage(err)
+	}
+	if err := kernel.Validate(g); err != nil {
+		return usage(err)
+	}
+
+	dest := corpusOut
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dest = f
+	}
+	cw := &countingWriter{w: dest}
+
+	mapped := ""
+	if g.Mapped() {
+		mapped = ", mmapped"
+	}
+	fmt.Fprintf(report, "corpusgen: %s (n=%d, m=%d%s) kernel=%s  %d walks x %d steps from every vertex\n",
+		g.Name(), g.N(), g.M(), mapped, kernel, *walks, *length)
+
+	cspec := walk.CorpusSpec{
+		WalksPerVertex: *walks,
+		Length:         *length,
+		Seed:           *seed,
+		Format:         format,
+		Workers:        *workers,
+	}
+	start := time.Now()
+	if !*quiet {
+		last := start
+		cspec.Progress = func(done, total int64) {
+			now := time.Now()
+			if now.Sub(last) < 2*time.Second && done != total {
+				return
+			}
+			last = now
+			elapsed := now.Sub(start).Seconds()
+			rate := float64(done) * float64(*length) / elapsed
+			fmt.Fprintf(report, "  %d/%d walks (%.0f%%), %.3g walker-steps/sec\n",
+				done, total, 100*float64(done)/float64(total), rate)
+		}
+	}
+	stats, err := walk.NewEngine(g, walk.EngineOptions{Workers: *workers, Kernel: kernel}).GenerateCorpus(cspec, cw)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(report, "generated %d walks (%d steps, %d bytes %s) in %v -> %.4g walker-steps/sec\n",
+		stats.Walks, stats.Steps, cw.n, *formatFlag, elapsed.Round(time.Millisecond),
+		float64(stats.Steps)/elapsed.Seconds())
+	return nil
+}
+
+func main() {
+	// With -o the corpus has its own destination and the report owns
+	// stdout; without it the corpus takes stdout and the report moves to
+	// stderr so the stream stays clean.
+	report := io.Writer(os.Stderr)
+	for _, a := range os.Args[1:] {
+		if a == "-o" || a == "--o" || strings.HasPrefix(a, "-o=") || strings.HasPrefix(a, "--o=") {
+			report = os.Stdout
+			break
+		}
+	}
+	if err := run(os.Args[1:], report, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}

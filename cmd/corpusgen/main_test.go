@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manywalks/internal/graph"
+)
+
+// genCorpus runs the CLI with the corpus going to the returned buffer.
+func genCorpus(t *testing.T, args ...string) (string, []byte) {
+	t.Helper()
+	var report, corpus bytes.Buffer
+	if err := run(args, &report, &corpus); err != nil {
+		t.Fatalf("run %v: %v\n%s", args, err, report.String())
+	}
+	return report.String(), corpus.Bytes()
+}
+
+// TestRunDeterministicAcrossWorkers is the smoke the CI step repeats from
+// the shell: both formats, Workers 1 vs 4, byte-identical corpora.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	for _, format := range []string{"text", "binary"} {
+		base := []string{"-graph", "margulis:8", "-walks", "2", "-length", "11", "-seed", "7", "-format", format, "-quiet"}
+		report, w1 := genCorpus(t, append(base, "-workers", "1")...)
+		_, w4 := genCorpus(t, append(base, "-workers", "4")...)
+		if !bytes.Equal(w1, w4) {
+			t.Fatalf("format %s: corpus differs between workers 1 and 4", format)
+		}
+		if len(w1) == 0 {
+			t.Fatalf("format %s: empty corpus", format)
+		}
+		if !strings.Contains(report, "128 walks") || !strings.Contains(report, "walker-steps/sec") {
+			t.Fatalf("format %s: report missing totals:\n%s", format, report)
+		}
+	}
+}
+
+// TestRunTextShape checks the text corpus parses as n*walks lines of
+// length+1 vertices after the two header lines.
+func TestRunTextShape(t *testing.T) {
+	_, corpus := genCorpus(t, "-graph", "cycle:5", "-walks", "3", "-length", "4", "-quiet")
+	lines := strings.Split(strings.TrimSuffix(string(corpus), "\n"), "\n")
+	if len(lines) != 2+5*3 {
+		t.Fatalf("%d lines, want 2 header + 15 walks", len(lines))
+	}
+	if lines[0] != "# manywalks corpus" || lines[1] != "5 3 4" {
+		t.Fatalf("bad header lines %q, %q", lines[0], lines[1])
+	}
+	for _, l := range lines[2:] {
+		if len(strings.Fields(l)) != 5 {
+			t.Fatalf("walk line %q does not have 5 vertices", l)
+		}
+	}
+}
+
+// TestRunInputFile loads the graph through -i (binary file, the mmap
+// path) and checks the corpus equals the generator-spec run.
+func TestRunInputFile(t *testing.T) {
+	g, err := graph.ParseSpec("torus:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torus.mwal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	common := []string{"-walks", "2", "-length", "9", "-seed", "5", "-format", "binary", "-quiet"}
+	_, fromSpec := genCorpus(t, append([]string{"-graph", "torus:6"}, common...)...)
+	_, fromFile := genCorpus(t, append([]string{"-i", path}, common...)...)
+	if !bytes.Equal(fromSpec, fromFile) {
+		t.Fatal("corpus from -i file differs from the generator spec run")
+	}
+}
+
+// TestRunOutputFlag writes the corpus through -o.
+func TestRunOutputFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.txt")
+	report, inline := genCorpus(t, "-graph", "cycle:4", "-walks", "1", "-length", "3", "-quiet", "-o", path)
+	if len(inline) != 0 {
+		t.Fatal("-o must leave the inline corpus writer untouched")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.Contains(report, "4 walks") {
+		t.Fatalf("corpus file empty or report wrong:\n%s", report)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var report, corpus bytes.Buffer
+	if err := run([]string{"-h"}, &report, &corpus); err != nil || !strings.Contains(report.String(), "-walks") {
+		t.Fatalf("-h must print usage, got %v", err)
+	}
+	for _, bad := range [][]string{
+		{"-graph", "nope:1"},
+		{"-format", "xml"},
+		{"-kernel", "sideways"},
+		{"-walks", "0"},
+		{"-i", filepath.Join(t.TempDir(), "missing.mwal")},
+	} {
+		if err := run(bad, &report, &corpus); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}

@@ -1,20 +1,30 @@
 // Command graphinfo prints structural and spectral statistics for a graph —
-// the quantities a user needs before choosing k-walk parameters — and can
-// export the instance in edge-list, binary, or DOT form.
+// the quantities a user needs before choosing k-walk parameters, plus the
+// CSR memory footprint, degree histogram, and engine-mode prediction that
+// matter at corpus scale — and can export the instance in edge-list,
+// binary, or DOT form.
 //
 // Usage:
 //
 //	graphinfo -graph expander -n 256 [-export edgelist|binary|dot] [-o file]
+//	graphinfo -i graph.mwal
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"slices"
 
 	"manywalks"
 )
+
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
 
 func buildGraph(kind string, n int, r *manywalks.Rand) (*manywalks.Graph, error) {
 	switch kind {
@@ -58,32 +68,101 @@ func buildGraph(kind string, n int, r *manywalks.Rand) (*manywalks.Graph, error)
 		radius := 2 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
 		return manywalks.NewRandomGeometric(n, radius, r), nil
 	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
+		// Fall back to the compact spec grammar ("hypercube:20",
+		// "margulis:64", ...), so one flag reaches every generator.
+		return manywalks.ParseGraphSpec(kind)
 	}
 }
 
-func main() {
-	kind := flag.String("graph", "torus2d", "graph family")
-	n := flag.Int("n", 256, "approximate vertex count")
-	seed := flag.Uint64("seed", 20080614, "RNG seed")
-	export := flag.String("export", "", "export format: edgelist, binary, or dot")
-	out := flag.String("o", "", "export destination (default stdout)")
-	flag.Parse()
+// fmtBytes renders a byte count in the largest sensible binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// printMemoryAndDegrees reports the CSR footprint, the degree histogram,
+// and whether the engine's padded fast-path table applies — the facts
+// that predict stepping mode and resident size before a run.
+func printMemoryAndDegrees(out io.Writer, g *manywalks.Graph) {
+	offsets, adj := g.CSR()
+	offB := int64(len(offsets)) * 4
+	adjB := int64(len(adj)) * 4
+	csr := offB + adjB
+	detail := fmt.Sprintf("offsets %s + adjacency %s", fmtBytes(offB), fmtBytes(adjB))
+	if g.Weighted() {
+		wB := int64(len(adj)) * 8
+		csr += wB
+		detail += fmt.Sprintf(" + weights %s", fmtBytes(wB))
+	}
+	resident := ""
+	if g.Mapped() {
+		resident = ", mmapped read-only"
+	}
+	fmt.Fprintf(out, "csr memory    %s (%s%s)\n", fmtBytes(csr), detail, resident)
+
+	degs := make([]int32, g.N())
+	for v := range degs {
+		degs[v] = offsets[v+1] - offsets[v]
+	}
+	slices.Sort(degs)
+	quantile := func(q float64) int32 {
+		i := int(q * float64(len(degs)-1))
+		return degs[i]
+	}
+	fmt.Fprintf(out, "degree        min %d, median %d, p99 %d, max %d\n",
+		degs[0], quantile(0.5), quantile(0.99), degs[len(degs)-1])
+
+	plan := manywalks.PlanPadTable(g)
+	if plan.Applies {
+		fmt.Fprintf(out, "pad table     applies: %d entries (stride 2^%d) <= limit %d -> single-load uniform sampling\n",
+			plan.Entries, plan.Shift, plan.Limit)
+	} else {
+		fmt.Fprintf(out, "pad table     not built: %d entries (stride 2^%d) > limit %d -> CSR stepping\n",
+			plan.Entries, plan.Shift, plan.Limit)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	input := fs.String("i", "", "input graph file (binary or edge list); overrides -graph")
+	kind := fs.String("graph", "torus2d", "graph family or kind:params spec")
+	n := fs.Int("n", 256, "approximate vertex count (family flags only)")
+	seed := fs.Uint64("seed", 20080614, "RNG seed")
+	export := fs.String("export", "", "export format: edgelist, binary, or dot")
+	outPath := fs.String("o", "", "export destination (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
 
 	r := manywalks.NewRand(*seed)
-	g, err := buildGraph(*kind, *n, r)
+	var g *manywalks.Graph
+	var err error
+	if *input != "" {
+		g, err = manywalks.OpenGraph(*input)
+	} else {
+		g, err = buildGraph(*kind, *n, r)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return usage(err)
 	}
 
 	if *export != "" {
-		w := os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
+		w := out
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			defer f.Close()
 			w = f
@@ -96,40 +175,46 @@ func main() {
 		case "dot":
 			err = g.WriteDOT(w)
 		default:
-			err = fmt.Errorf("unknown export format %q", *export)
+			err = usage(fmt.Errorf("unknown export format %q", *export))
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return err
 	}
 
-	min, max := g.DegreeStats()
-	fmt.Printf("name          %s\n", g.Name())
-	fmt.Printf("vertices      %d\n", g.N())
-	fmt.Printf("edges         %d (self-loops %d)\n", g.M(), g.SelfLoops())
-	fmt.Printf("degree        min %d, max %d\n", min, max)
-	fmt.Printf("connected     %v\n", g.IsConnected())
-	fmt.Printf("bipartite     %v\n", g.IsBipartite())
+	fmt.Fprintf(out, "name          %s\n", g.Name())
+	fmt.Fprintf(out, "vertices      %d\n", g.N())
+	fmt.Fprintf(out, "edges         %d (self-loops %d)\n", g.M(), g.SelfLoops())
+	printMemoryAndDegrees(out, g)
+	fmt.Fprintf(out, "connected     %v\n", g.IsConnected())
+	fmt.Fprintf(out, "bipartite     %v\n", g.IsBipartite())
 	if g.N() <= 4096 && g.IsConnected() {
-		fmt.Printf("diameter      %d\n", g.Diameter())
+		fmt.Fprintf(out, "diameter      %d\n", g.Diameter())
 		stay := 0.0
 		if g.IsBipartite() {
 			stay = 0.5
-			fmt.Printf("walk          lazy (bipartite graph: simple walk is periodic)\n")
+			fmt.Fprintf(out, "walk          lazy (bipartite graph: simple walk is periodic)\n")
 		}
 		gap := manywalks.SpectralGap(g, stay, r)
-		fmt.Printf("spectral gap  %.5f (λ = %.5f)\n", gap, 1-gap)
+		fmt.Fprintf(out, "spectral gap  %.5f (λ = %.5f)\n", gap, 1-gap)
 		if tm := manywalks.MixingTime(g, stay, nil, 40*g.N()*g.N()); tm >= 0 {
-			fmt.Printf("mixing time   %d (paper definition, worst start)\n", tm)
+			fmt.Fprintf(out, "mixing time   %d (paper definition, worst start)\n", tm)
 		}
 	}
 	if g.N() <= 2048 && g.IsConnected() {
 		bounds, err := manywalks.ComputeBounds(g, 0, r)
 		if err == nil {
-			fmt.Printf("hmax / hmin   %.4g / %.4g\n", bounds.Hmax, bounds.Hmin)
-			fmt.Printf("Matthews      C ∈ [%.4g, %.4g]\n", bounds.MatthewsLower, bounds.MatthewsUpper)
+			fmt.Fprintf(out, "hmax / hmin   %.4g / %.4g\n", bounds.Hmax, bounds.Hmin)
+			fmt.Fprintf(out, "Matthews      C ∈ [%.4g, %.4g]\n", bounds.MatthewsLower, bounds.MatthewsUpper)
 		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 }

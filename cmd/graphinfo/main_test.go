@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manywalks"
+)
+
+// TestRunFamilyReport checks the report includes the new memory, degree,
+// and pad-table lines alongside the original structural stats.
+func TestRunFamilyReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "torus2d", "-n", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"vertices      64",
+		"csr memory",
+		"degree        min 4, median 4, p99 4, max 4",
+		"pad table     applies",
+		"spectral gap",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunSpecAndPadCap: a spec-grammar graph over the pad cap reports CSR
+// stepping.
+func TestRunSpecAndPadCap(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "hypercube:17"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "vertices      131072") || !strings.Contains(got, "pad table     not built") {
+		t.Fatalf("spec graph over the cap must report CSR stepping:\n%s", got)
+	}
+}
+
+// TestRunInputFile reports on a binary graph file loaded through -i.
+func TestRunInputFile(t *testing.T) {
+	g := manywalks.NewMargulisExpander(6)
+	path := filepath.Join(t.TempDir(), "g.mwal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-i", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "vertices      36") || !strings.Contains(got, "mmapped read-only") {
+		t.Fatalf("file-loaded report wrong:\n%s", got)
+	}
+}
+
+// TestRunExportRoundTrip exports an edge list and reloads it through -i.
+func TestRunExportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var out strings.Builder
+	if err := run([]string{"-graph", "cycle:12", "-export", "edgelist", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-i", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vertices      12") {
+		t.Fatalf("round-tripped report wrong:\n%s", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	for _, bad := range [][]string{
+		{"-graph", "nope"},
+		{"-graph", "cycle:12", "-export", "xml"},
+		{"-i", filepath.Join(t.TempDir(), "missing.mwal")},
+	} {
+		if err := run(bad, &out); err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+	}
+}

@@ -32,6 +32,30 @@ type Graph struct {
 	m       int    // number of undirected edges (self-loops count once)
 	loops   int    // number of self-loops
 	name    string // human-readable family label, e.g. "cycle(1024)"
+	// mapped, when non-nil, is the read-only mmap region the CSR arrays
+	// alias (OpenBinary's in-place path); it pins the mapping until Release.
+	mapped []byte
+}
+
+// MaxVertices is the largest vertex count the CSR representation can hold:
+// vertex ids are int32, so n is bounded by 2^31-1 (adjacency lengths are
+// separately bounded by the int32 offsets; see Builder.Build).
+const MaxVertices = 1<<31 - 1
+
+// Mapped reports whether the graph's CSR arrays alias a read-only memory
+// mapping (OpenBinary's in-place path) rather than the heap.
+func (g *Graph) Mapped() bool { return g.mapped != nil }
+
+// Release unmaps a mapped graph's backing region. The graph must not be
+// used afterwards — its CSR slices are invalidated. Release on a
+// heap-resident graph is a no-op.
+func (g *Graph) Release() error {
+	if g.mapped == nil {
+		return nil
+	}
+	data := g.mapped
+	g.mapped, g.offsets, g.adj, g.weights = nil, nil, nil, nil
+	return unmapBytes(data)
 }
 
 // N returns the number of vertices.
@@ -294,6 +318,9 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
+	if n > MaxVertices {
+		panic(fmt.Sprintf("graph: vertex count %d exceeds the int32 CSR limit %d", n, MaxVertices))
+	}
 	return &Builder{n: n}
 }
 
@@ -399,8 +426,13 @@ func (b *Builder) Build(name string) *Graph {
 		loops:   loops,
 		name:    name,
 	}
+	total := int64(0)
 	for v := 0; v < b.n; v++ {
-		g.offsets[v+1] = g.offsets[v] + deg[v]
+		total += int64(deg[v])
+		if total > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: adjacency length %d exceeds the int32 CSR limit %d", total, math.MaxInt32))
+		}
+		g.offsets[v+1] = int32(total)
 	}
 	g.adj = make([]int32, g.offsets[b.n])
 	var wts []float64

@@ -1,0 +1,132 @@
+//go:build linux
+
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// The mmap-backed reader: a v3 binary file's CSR arrays are 4/8-byte
+// aligned by construction (binaryAlignPads), so on a little-endian host the
+// offsets, adjacency, and weight arrays can be viewed in place over a
+// read-only private mapping — the adjacency of a multi-hundred-MB instance
+// then never needs to be heap-resident, and the page cache shares it across
+// processes. openBinaryMapped returns errUnmappable for anything it cannot
+// view in place (v2 files, big-endian hosts, truncated payloads) and
+// OpenBinary falls back to the heap reader.
+
+var errUnmappable = fmt.Errorf("graph: binary layout not mappable")
+
+// hostLittleEndian reports the native byte order; the mapped views reinterpret
+// raw file bytes, which is only valid when host order matches the format's
+// little-endian layout.
+func hostLittleEndian() bool {
+	var one uint32 = 1
+	return *(*byte)(unsafe.Pointer(&one)) == 1
+}
+
+// openBinaryMapped maps f (a v3 WriteBinary file) read-only and builds a
+// Graph whose CSR arrays alias the mapping. The caller owns neither the
+// mapping nor its lifetime: the Graph holds it until Release.
+func openBinaryMapped(f *os.File) (*Graph, error) {
+	if !hostLittleEndian() {
+		return nil, errUnmappable
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < 20 || size > int64(int(^uint(0)>>1)) {
+		return nil, errUnmappable
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap: %w", err)
+	}
+	g, err := mapBinary(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	g.mapped = data
+	return g, nil
+}
+
+// mapBinary parses a v3 payload in data, viewing the arrays in place.
+func mapBinary(data []byte) (*Graph, error) {
+	le := binary.LittleEndian
+	need := func(hi int64) error {
+		if hi > int64(len(data)) {
+			return fmt.Errorf("graph: corrupt binary payload: truncated at %d of %d bytes", len(data), hi)
+		}
+		return nil
+	}
+	if le.Uint32(data[0:]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", le.Uint32(data[0:]))
+	}
+	if v := le.Uint32(data[4:]); v != binaryVersion {
+		return nil, errUnmappable // v2 has no alignment padding; heap-read it
+	}
+	flags := le.Uint32(data[8:])
+	if flags&^binaryFlagWeighted != 0 {
+		return nil, fmt.Errorf("graph: unknown binary flags %#x", flags)
+	}
+	nameLen := le.Uint32(data[12:])
+	if nameLen > maxBinaryNameLen {
+		return nil, fmt.Errorf("graph: unreasonable name length %d", nameLen)
+	}
+	if err := need(16 + int64(nameLen) + 4); err != nil {
+		return nil, err
+	}
+	name := string(data[16 : 16+nameLen])
+	padA, _ := binaryAlignPads(int(nameLen), 0, 0)
+	pos := 16 + int64(nameLen) + int64(padA)
+	if err := need(pos + 4); err != nil {
+		return nil, err
+	}
+	n := le.Uint32(data[pos:])
+	if n > maxSerializedVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the reader limit %d", n, maxSerializedVertices)
+	}
+	pos += 4
+	if err := need(pos + 4*(int64(n)+1)); err != nil {
+		return nil, err
+	}
+	offsets := unsafe.Slice((*int32)(unsafe.Pointer(&data[pos])), int(n)+1)
+	pos += 4 * (int64(n) + 1)
+	total := offsets[n]
+	if total < 0 {
+		return nil, fmt.Errorf("graph: negative adjacency length")
+	}
+	if err := need(pos + 4*int64(total)); err != nil {
+		return nil, err
+	}
+	g := &Graph{name: name, offsets: offsets}
+	if total > 0 {
+		g.adj = unsafe.Slice((*int32)(unsafe.Pointer(&data[pos])), int(total))
+	} else {
+		g.adj = []int32{}
+	}
+	pos += 4 * int64(total)
+	if flags&binaryFlagWeighted != 0 {
+		_, padB := binaryAlignPads(int(nameLen), int64(n), int64(total))
+		pos += int64(padB)
+		if err := need(pos + 8*int64(total)); err != nil {
+			return nil, err
+		}
+		if total > 0 {
+			g.weights = unsafe.Slice((*float64)(unsafe.Pointer(&data[pos])), int(total))
+		} else {
+			g.weights = []float64{}
+		}
+	}
+	return validateBinaryCSR(g, int(n))
+}
+
+// unmapBytes releases a mapping created by openBinaryMapped.
+func unmapBytes(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package graph
+
+import (
+	"fmt"
+	"os"
+)
+
+// Non-linux builds have no mmap fast path; OpenBinary always takes the heap
+// reader and no Graph is ever mapped.
+
+var errUnmappable = fmt.Errorf("graph: binary layout not mappable")
+
+func openBinaryMapped(f *os.File) (*Graph, error) { return nil, errUnmappable }
+
+func unmapBytes(data []byte) error { return nil }

@@ -2,9 +2,33 @@ package graph
 
 import (
 	"bytes"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// fuzzTopologyEqual compares shape, name, and CSR arrays but not weights —
+// used where duplicate-weight summation order may differ between paths.
+func fuzzTopologyEqual(t *testing.T, stage string, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() || a.SelfLoops() != b.SelfLoops() {
+		t.Fatalf("%s: shape mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			stage, a.N(), a.M(), a.SelfLoops(), b.N(), b.M(), b.SelfLoops())
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("%s: name %q != %q", stage, a.Name(), b.Name())
+	}
+	if a.Weighted() != b.Weighted() {
+		t.Fatalf("%s: weightedness mismatch", stage)
+	}
+	ao, aa := a.CSR()
+	bo, ba := b.CSR()
+	if !bytes.Equal(int32Bytes(ao), int32Bytes(bo)) || !bytes.Equal(int32Bytes(aa), int32Bytes(ba)) {
+		t.Fatalf("%s: CSR mismatch", stage)
+	}
+}
 
 // fuzzGraphsEqual compares everything both serializers promise to round-trip.
 func fuzzGraphsEqual(t *testing.T, stage string, a, b *Graph) {
@@ -61,10 +85,43 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 		}
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {
-			return // rejected input is fine; it just must not panic
+			// Rejected input is fine (it just must not panic), and the
+			// streaming reader must reject it too.
+			if _, serr := ReadEdgeListStreaming(strings.NewReader(input)); serr == nil {
+				t.Fatalf("streaming reader accepted input the Builder reader rejected (%v)", err)
+			}
+			return
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("parser accepted an invalid graph: %v", err)
+		}
+		gs, err := ReadEdgeListStreaming(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("streaming reader rejected accepted input: %v", err)
+		}
+		if err := gs.Validate(); err != nil {
+			t.Fatalf("streaming reader built an invalid graph: %v", err)
+		}
+		fuzzTopologyEqual(t, "streaming", g, gs)
+		// Weights: the Builder sums duplicate-edge weights in global-sort
+		// order, the streaming assembler in row order, so when duplicates
+		// collapsed the float sums may differ in the last ulps. All weights
+		// are strictly positive, so any summation order agrees to a tight
+		// relative tolerance; with no duplicates both paths are bit-exact.
+		if g.Weighted() {
+			aw, bw := g.CSRWeights(), gs.CSRWeights()
+			for i := range aw {
+				if aw[i] == bw[i] {
+					continue
+				}
+				if diff := math.Abs(aw[i] - bw[i]); diff <= 1e-9*math.Max(aw[i], bw[i]) {
+					continue
+				}
+				if aw[i] > math.MaxFloat64/2 && bw[i] > math.MaxFloat64/2 {
+					continue // both saturated by an overflowing duplicate sum
+				}
+				t.Fatalf("streaming: weight[%d] %v != %v beyond summation-order tolerance", i, aw[i], bw[i])
+			}
 		}
 		g.SetName(name)
 
@@ -109,8 +166,23 @@ func FuzzBinaryParse(f *testing.F) {
 			t.Skip("oversized input")
 		}
 		g, err := ReadBinary(bytes.NewReader(data))
+
+		// The mmap-backed path must agree with the heap reader on every
+		// input: same accept/reject decision, identical graph on accept.
+		path := filepath.Join(t.TempDir(), "fuzz.mwal")
+		if werr := os.WriteFile(path, data, 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		mg, merr := OpenBinary(path)
+		if (err == nil) != (merr == nil) {
+			t.Fatalf("OpenBinary err=%v, ReadBinary err=%v: accept/reject mismatch", merr, err)
+		}
 		if err != nil {
 			return
+		}
+		fuzzGraphsEqual(t, "mapped", g, mg)
+		if rerr := mg.Release(); rerr != nil {
+			t.Fatalf("Release: %v", rerr)
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("reader accepted an invalid graph: %v", err)

@@ -1,0 +1,43 @@
+package walk
+
+import (
+	"math/bits"
+
+	"manywalks/internal/graph"
+)
+
+// PadTablePlan reports whether NewEngine would build the padded sampling
+// table for a graph — the single-load uniform sampler — and how big it
+// would be. The table applies only to the Uniform and Lazy kernels; other
+// kernels always step through the CSR arrays.
+type PadTablePlan struct {
+	// Entries is n << Shift, the table's slot count if built.
+	Entries int64
+	// Limit is the engine's size cap (maxPadEntries); a plan applies
+	// only when Entries <= Limit.
+	Limit int64
+	// Shift is the per-vertex stride exponent: each vertex gets
+	// 1 << Shift slots, enough to hold its degree rounded up to a
+	// power of two.
+	Shift uint32
+	// Applies reports whether NewEngine builds the table.
+	Applies bool
+}
+
+// PlanPadTable computes the pad-table decision NewEngine would make for g,
+// without building an engine. Callers (graphinfo) use it to report which
+// stepping mode a graph gets before committing to a run.
+func PlanPadTable(g *graph.Graph) PadTablePlan {
+	_, maxDeg := g.DegreeStats()
+	shift := uint32(bits.Len(uint(maxDeg - 1)))
+	if shift == 0 {
+		shift = 1
+	}
+	entries := int64(g.N()) << shift
+	return PadTablePlan{
+		Entries: entries,
+		Limit:   maxPadEntries,
+		Shift:   shift,
+		Applies: entries <= maxPadEntries,
+	}
+}

@@ -1,0 +1,35 @@
+package walk
+
+import (
+	"testing"
+
+	"manywalks/internal/graph"
+)
+
+// TestPlanPadTable pins the plan against the engine's actual decision.
+func TestPlanPadTable(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(64),             // deg 2, shift 1
+		graph.Star(5),               // hub deg 4, shift 2
+		graph.MargulisExpander(8),   // deg 8, shift 3
+		graph.Complete(1024, false), // 1023*1024 entries: over the cap
+		graph.Hypercube(17),         // 131072<<5 entries: over the cap
+	} {
+		plan := PlanPadTable(g)
+		e := NewEngine(g, EngineOptions{})
+		if plan.Applies != (e.pad != nil) {
+			t.Fatalf("%s: plan says applies=%v, engine built table=%v", g.Name(), plan.Applies, e.pad != nil)
+		}
+		if plan.Applies {
+			if int64(len(e.pad)) != plan.Entries {
+				t.Fatalf("%s: plan entries %d, engine table %d", g.Name(), plan.Entries, len(e.pad))
+			}
+			if plan.Shift != e.padShift {
+				t.Fatalf("%s: plan shift %d, engine shift %d", g.Name(), plan.Shift, e.padShift)
+			}
+		}
+		if plan.Limit != maxPadEntries {
+			t.Fatalf("plan limit %d != maxPadEntries", plan.Limit)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package manywalks
 
 import (
+	"io"
+
 	"manywalks/internal/core"
 	"manywalks/internal/exact"
 	"manywalks/internal/graph"
@@ -346,6 +348,46 @@ func KCoalescenceTime(g *Graph, starts []int32, opts MCOptions) (coalesce, meet 
 func PartialCoverRounds(g *Graph, start int32, k int, fractions []float64, opts MCOptions) ([]Estimate, error) {
 	return walk.MeanPartialCoverRounds(g, start, k, fractions, opts)
 }
+
+// Corpus generation: bulk truncated walks from every vertex, streamed out
+// in deterministic order through the grouped engine. GenerateCorpus is a
+// method on Engine; these aliases expose its spec and decoder.
+
+// CorpusSpec configures Engine.GenerateCorpus: walks per vertex, walk
+// length, seed, output format, and workers.
+type CorpusSpec = walk.CorpusSpec
+
+// CorpusFormat selects the corpus encoding (CorpusText or CorpusBinary).
+type CorpusFormat = walk.CorpusFormat
+
+// Corpus output encodings.
+const (
+	CorpusText   = walk.CorpusText
+	CorpusBinary = walk.CorpusBinary
+)
+
+// CorpusStats reports the walk and step totals of a generated corpus.
+type CorpusStats = walk.CorpusStats
+
+// CorpusHeader describes a corpus stream's shape.
+type CorpusHeader = walk.CorpusHeader
+
+// ScanCorpusBinary streams the walks of a binary corpus to fn.
+func ScanCorpusBinary(r io.Reader, fn func(walk []int32) error) (CorpusHeader, error) {
+	return walk.ScanCorpusBinary(r, fn)
+}
+
+// OpenGraph loads a graph file, sniffing the binary magic and falling back
+// to the text edge-list reader; binary files are mmapped when possible.
+func OpenGraph(path string) (*Graph, error) { return graph.Open(path) }
+
+// ParseGraphSpec builds a deterministic graph from a compact
+// "kind:params" spec string such as "hypercube:20" or "margulis:64".
+func ParseGraphSpec(spec string) (*Graph, error) { return graph.ParseSpec(spec) }
+
+// PlanPadTable reports whether NewEngine would build the padded sampling
+// table for g — the single-load uniform sampler — without building one.
+func PlanPadTable(g *Graph) walk.PadTablePlan { return walk.PlanPadTable(g) }
 
 // Serving API: the in-process query server behind cmd/walkd. A Server
 // holds a graph registry and an LRU-bounded compiled-engine cache, and
