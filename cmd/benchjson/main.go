@@ -10,11 +10,19 @@
 // bit-identical samples, so the rows measure pure lane-shard scaling.
 // Since BENCH_PR7 the set adds GenerateCorpus rows — bulk truncated walks
 // from every vertex streamed to a discard sink — reporting steps_per_sec
-// (walker-steps/sec), the corpus acceptance unit.
+// (walker-steps/sec), the corpus acceptance unit. Since BENCH_PR8 the set
+// adds AdaptiveEstimate* rows — cover estimates under sequential stopping
+// at rtol=0.05 @95% — reporting trials_used, the mean trials-to-tolerance,
+// next to their fixed-count twins.
+//
+// -compare diffs the run against an earlier committed snapshot, printing
+// the per-row ns/op delta and exiting nonzero if any row regressed past
+// -threshold percent — the CI gate form of the trajectory files.
 //
 // Usage:
 //
 //	benchjson [-o BENCH.json] [-count 3] [-bench regexp]
+//	          [-compare OLD.json] [-threshold 5]
 package main
 
 import (
@@ -34,12 +42,22 @@ import (
 	"manywalks/internal/walk"
 )
 
-// row is one benchmark measurement.
+// row is one benchmark measurement. trials_used appears only on adaptive
+// rows: the mean trials the sequential stop rule spent per estimate — the
+// matching fixed row's trial count divided by trials_used is the
+// time-to-tolerance saving the adaptive layer is gated on.
 type row struct {
 	Bench        string  `json:"bench"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
 	StepsPerSec  float64 `json:"steps_per_sec,omitempty"`
+	TrialsUsed   float64 `json:"trials_used,omitempty"`
+}
+
+// adaptiveUsage accumulates the actual trials an adaptive row's ops spent,
+// so the snapshot records mean trials-to-tolerance alongside ns/op.
+type adaptiveUsage struct {
+	trials, ops atomic.Int64
 }
 
 // pinnedBench is one named benchmark of the snapshot set.
@@ -47,6 +65,7 @@ type pinnedBench struct {
 	name   string
 	trials int   // per op; 0 for non-estimator rows
 	steps  int64 // walker steps per op; 0 for non-corpus rows
+	used   *adaptiveUsage
 	fn     func(b *testing.B)
 }
 
@@ -74,7 +93,7 @@ func pinned() []pinnedBench {
 	expander := graph.MargulisExpander(24)
 	expander4096 := graph.MargulisExpander(64)
 	rows := []pinnedBench{
-		{"KCoverEngineSeq/expander576", 0, 0, func(b *testing.B) {
+		{"KCoverEngineSeq/expander576", 0, 0, nil, func(b *testing.B) {
 			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
 				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
@@ -82,7 +101,7 @@ func pinned() []pinnedBench {
 				}
 			}
 		}},
-		{"KCoverEngineSeq/expander4096", 0, 0, func(b *testing.B) {
+		{"KCoverEngineSeq/expander4096", 0, 0, nil, func(b *testing.B) {
 			eng := walk.NewEngine(expander4096, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
 				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
@@ -90,7 +109,7 @@ func pinned() []pinnedBench {
 				}
 			}
 		}},
-		{"KHitEngine/expander576", 0, 0, func(b *testing.B) {
+		{"KHitEngine/expander576", 0, 0, nil, func(b *testing.B) {
 			marked := make([]bool, expander.N())
 			for v := 50; v < expander.N(); v += 97 {
 				marked[v] = true
@@ -109,7 +128,7 @@ func pinned() []pinnedBench {
 	for _, w := range benchWorkerGrid {
 		w := w
 		rows = append(rows,
-			pinnedBench{"EstimateKCoverTime/expander576_k64_t256_w" + fmt.Sprint(w), 256, 0, func(b *testing.B) {
+			pinnedBench{"EstimateKCoverTime/expander576_k64_t256_w" + fmt.Sprint(w), 256, 0, nil, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					est, err := walk.EstimateKCoverTime(expander, 0, 64, walk.MCOptions{
 						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 20,
@@ -119,7 +138,7 @@ func pinned() []pinnedBench {
 					}
 				}
 			}},
-			pinnedBench{"EstimateCoverTime/expander576_k1_t64_w" + fmt.Sprint(w), 64, 0, func(b *testing.B) {
+			pinnedBench{"EstimateCoverTime/expander576_k1_t64_w" + fmt.Sprint(w), 64, 0, nil, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					est, err := walk.EstimateCoverTime(expander, 0, walk.MCOptions{
 						Trials: 64, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
@@ -129,7 +148,7 @@ func pinned() []pinnedBench {
 					}
 				}
 			}},
-			pinnedBench{"EstimateHittingTime/expander576_t256_w" + fmt.Sprint(w), 256, 0, func(b *testing.B) {
+			pinnedBench{"EstimateHittingTime/expander576_t256_w" + fmt.Sprint(w), 256, 0, nil, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := walk.EstimateHittingTime(expander, 0, 300, walk.MCOptions{
 						Trials: 256, Workers: w, Seed: uint64(i), MaxSteps: 1 << 24,
@@ -140,14 +159,54 @@ func pinned() []pinnedBench {
 			}},
 		)
 	}
+	// Adaptive sequential-stopping rows (new in PR 8): cover shapes with
+	// rtol=0.05 @95% and the fixed count as trial budget. Each pairs with a
+	// fixed-count row of the same shape (k64 with the t256 row above, k16
+	// with its own t256 row here); fixed-trials / trials_used is the
+	// trials-to-tolerance saving, and the ns/op ratio the wall-clock
+	// saving, that the adaptive layer is gated on (>=3x and >=2x).
+	rows = append(rows, pinnedBench{"EstimateKCoverTime/expander576_k16_t256_w1", 256, 0, nil, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est, err := walk.EstimateKCoverTime(expander, 0, 16, walk.MCOptions{
+				Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 20,
+			})
+			if err != nil || est.Truncated != 0 {
+				b.Fatalf("estimate failed: %v", err)
+			}
+		}
+	}})
+	adaptivePrec := walk.Precision{RTol: 0.05, Confidence: 0.95, Wave: 16}
+	for _, shape := range []struct {
+		name string
+		k    int
+	}{
+		{"AdaptiveEstimateKCoverTime/expander576_k64_rtol05", 64},
+		{"AdaptiveEstimateKCoverTime/expander576_k16_rtol05", 16},
+	} {
+		shape := shape
+		used := &adaptiveUsage{}
+		rows = append(rows, pinnedBench{shape.name, 0, 0, used, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				est, err := walk.EstimateKCoverTime(expander, 0, shape.k, walk.MCOptions{
+					Trials: 256, Workers: 1, Seed: uint64(i), MaxSteps: 1 << 20,
+					Precision: adaptivePrec,
+				})
+				if err != nil || !est.Converged {
+					b.Fatalf("adaptive estimate failed: err=%v est=%+v", err, est)
+				}
+				used.trials.Add(int64(est.Summary.N))
+				used.ops.Add(1)
+			}
+		}})
+	}
 	// Served-throughput rows: 256 concurrent clients issuing k=1
 	// hitting-time walk queries (the cmd/walkload acceptance shape);
 	// trials/sec is served queries/sec. The coalesced row sweeps the
 	// server's per-pass worker count (the w-less name is the w1 row of the
 	// earlier snapshots); the naive path has no grouped passes to shard.
-	rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_naive", 1, 0, servedThroughput(expander, true, 1)})
+	rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_naive", 1, 0, nil, servedThroughput(expander, true, 1)})
 	for _, w := range benchWorkerGrid {
-		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, 0, servedThroughput(expander, false, w)})
+		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, 0, nil, servedThroughput(expander, false, w)})
 	}
 	// Corpus-throughput rows (new in PR 7): 10 truncated walks of length 80
 	// from every vertex of the 4096-vertex expander, streamed to a discard
@@ -156,9 +215,9 @@ func pinned() []pinnedBench {
 	corpusSteps := int64(expander4096.N()) * 10 * 80
 	for _, w := range []int{1, 4} {
 		rows = append(rows,
-			pinnedBench{"GenerateCorpus/expander4096_w10_l80_text" + workerSuffix(w), 0, corpusSteps,
+			pinnedBench{"GenerateCorpus/expander4096_w10_l80_text" + workerSuffix(w), 0, corpusSteps, nil,
 				corpusThroughput(expander4096, walk.CorpusText, w)},
-			pinnedBench{"GenerateCorpus/expander4096_w10_l80_binary" + workerSuffix(w), 0, corpusSteps,
+			pinnedBench{"GenerateCorpus/expander4096_w10_l80_binary" + workerSuffix(w), 0, corpusSteps, nil,
 				corpusThroughput(expander4096, walk.CorpusBinary, w)},
 		)
 	}
@@ -223,10 +282,55 @@ func servedThroughput(g *graph.Graph, naive bool, workers int) func(b *testing.B
 	}
 }
 
+// compareReport is the outcome of diffing a run against an earlier
+// snapshot: one rendered line per comparable row, plus the names of rows
+// whose ns/op regressed past the threshold.
+type compareReport struct {
+	lines    []string
+	breaches []string
+}
+
+// compareRows diffs new rows against an earlier snapshot by bench name:
+// the ns/op delta percentage per row, with rows slower than the old
+// snapshot by more than threshold percent flagged as breaches. Rows
+// present in only one set are reported but never breach — the pinned set
+// is allowed to grow between snapshots.
+func compareRows(oldRows, newRows []row, threshold float64) compareReport {
+	oldBy := make(map[string]row, len(oldRows))
+	for _, r := range oldRows {
+		oldBy[r.Bench] = r
+	}
+	var rep compareReport
+	seen := make(map[string]bool, len(newRows))
+	for _, nr := range newRows {
+		seen[nr.Bench] = true
+		or, ok := oldBy[nr.Bench]
+		if !ok {
+			rep.lines = append(rep.lines, fmt.Sprintf("%-48s %12.0f ns/op   (new row)", nr.Bench, nr.NsPerOp))
+			continue
+		}
+		delta := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		line := fmt.Sprintf("%-48s %12.0f -> %12.0f ns/op  %+7.1f%%", nr.Bench, or.NsPerOp, nr.NsPerOp, delta)
+		if delta > threshold {
+			line += "  REGRESSION"
+			rep.breaches = append(rep.breaches, nr.Bench)
+		}
+		rep.lines = append(rep.lines, line)
+	}
+	for _, or := range oldRows {
+		if !seen[or.Bench] {
+			rep.lines = append(rep.lines, fmt.Sprintf("%-48s %12.0f ns/op   (dropped row)", or.Bench, or.NsPerOp))
+		}
+	}
+	return rep
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
 	match := flag.String("bench", "", "run only benchmarks whose name matches this regexp (CI smoke)")
+	compare := flag.String("compare", "", "earlier snapshot JSON to diff against; regressions past -threshold exit nonzero")
+	threshold := flag.Float64("threshold", 5, "max ns/op regression percent tolerated by -compare")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -234,6 +338,17 @@ func main() {
 		var err error
 		if filter, err = regexp.Compile(*match); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+	var oldRows []row
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err == nil {
+			err = json.Unmarshal(data, &oldRows)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare:", err)
 			os.Exit(2)
 		}
 	}
@@ -256,6 +371,9 @@ func main() {
 		if p.steps > 0 && best.T > 0 {
 			r.StepsPerSec = float64(p.steps) * float64(best.N) / best.T.Seconds()
 		}
+		if p.used != nil && p.used.ops.Load() > 0 {
+			r.TrialsUsed = float64(p.used.trials.Load()) / float64(p.used.ops.Load())
+		}
 		rows = append(rows, r)
 		fmt.Printf("%-48s %12.0f ns/op", r.Bench, r.NsPerOp)
 		if r.TrialsPerSec > 0 {
@@ -263,6 +381,9 @@ func main() {
 		}
 		if r.StepsPerSec > 0 {
 			fmt.Printf(" %12.3g steps/sec", r.StepsPerSec)
+		}
+		if r.TrialsUsed > 0 {
+			fmt.Printf(" %8.1f trials used", r.TrialsUsed)
 		}
 		fmt.Println()
 	}
@@ -281,4 +402,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+	if *compare != "" {
+		rep := compareRows(oldRows, rows, *threshold)
+		fmt.Printf("compare vs %s (threshold %.1f%%):\n", *compare, *threshold)
+		for _, line := range rep.lines {
+			fmt.Println(" ", line)
+		}
+		if len(rep.breaches) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d row(s) regressed past %.1f%%: %v\n",
+				len(rep.breaches), *threshold, rep.breaches)
+			os.Exit(1)
+		}
+		fmt.Println("compare: no regressions past threshold")
+	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareRows pins the snapshot diff gate: per-row delta rendering,
+// the regression threshold, and tolerance of set growth/shrinkage.
+func TestCompareRows(t *testing.T) {
+	oldRows := []row{
+		{Bench: "A", NsPerOp: 1000},
+		{Bench: "B", NsPerOp: 2000},
+		{Bench: "C", NsPerOp: 500},
+		{Bench: "Gone", NsPerOp: 42},
+	}
+	newRows := []row{
+		{Bench: "A", NsPerOp: 1040},  // +4%: inside a 5% threshold
+		{Bench: "B", NsPerOp: 2400},  // +20%: breach
+		{Bench: "C", NsPerOp: 400},   // -20%: improvement, never a breach
+		{Bench: "Fresh", NsPerOp: 7}, // only in the new set
+	}
+	rep := compareRows(oldRows, newRows, 5)
+	if len(rep.breaches) != 1 || rep.breaches[0] != "B" {
+		t.Fatalf("breaches = %v, want [B]", rep.breaches)
+	}
+	if len(rep.lines) != 5 {
+		t.Fatalf("want 5 report lines, got %d:\n%s", len(rep.lines), strings.Join(rep.lines, "\n"))
+	}
+	joined := strings.Join(rep.lines, "\n")
+	for _, want := range []string{"REGRESSION", "(new row)", "(dropped row)", "+4.0%", "-20.0%"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("report missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Count(joined, "REGRESSION") != 1 {
+		t.Fatalf("want exactly one REGRESSION flag:\n%s", joined)
+	}
+
+	// A tighter threshold flags the +4% row too; a looser one passes both.
+	if rep := compareRows(oldRows, newRows, 2); len(rep.breaches) != 2 {
+		t.Fatalf("threshold 2: breaches = %v, want [A B]", rep.breaches)
+	}
+	if rep := compareRows(oldRows, newRows, 25); len(rep.breaches) != 0 {
+		t.Fatalf("threshold 25: breaches = %v, want none", rep.breaches)
+	}
+}

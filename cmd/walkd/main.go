@@ -20,6 +20,16 @@
 //	POST /v1/meeting   {"graph","starts":[...],"trials","seed","max_steps","kernel"?}
 //	GET  /v1/stats     served-traffic counters
 //
+// The three estimate endpoints also accept adaptive-stopping fields:
+// "rtol" > 0 switches to sequential stopping ("trials" becomes the budget
+// cap), with optional "confidence" (default 0.95), "min_trials",
+// "max_trials", and "wave". The answer then stops at the first wave
+// boundary whose relative CI half-width is within rtol, and reports
+// "waves" and "converged" alongside the usual fields. Adding
+// "stream": true switches the response to chunked NDJSON: one
+// {"wave","trials","mean","ci","rel_ci","truncated","converged","done"}
+// progress line per wave, then a final {"result": {...}} line.
+//
 // The daemon enforces per-request deadlines (-deadline), admission limits
 // (429 once the pending queue is full), and drains gracefully: on SIGINT or
 // SIGTERM it stops accepting connections, lets in-flight requests finish,
@@ -84,7 +94,8 @@ type jsonError struct {
 	Error string `json:"error"`
 }
 
-// estimateResponse is the JSON form of a walk.Estimate.
+// estimateResponse is the JSON form of a walk.Estimate. waves/converged
+// appear only on adaptive answers (fixed-count responses are unchanged).
 type estimateResponse struct {
 	Mean      float64 `json:"mean"`
 	CI95      float64 `json:"ci95"`
@@ -92,6 +103,8 @@ type estimateResponse struct {
 	Max       float64 `json:"max"`
 	Trials    int     `json:"trials"`
 	Truncated int     `json:"truncated"`
+	Waves     int     `json:"waves,omitempty"`
+	Converged bool    `json:"converged,omitempty"`
 }
 
 func estimateJSON(e walk.Estimate) estimateResponse {
@@ -102,6 +115,113 @@ func estimateJSON(e walk.Estimate) estimateResponse {
 		Max:       e.Summary.Max,
 		Trials:    e.Summary.N,
 		Truncated: e.Truncated,
+		Waves:     e.Waves,
+		Converged: e.Converged,
+	}
+}
+
+// precisionParams are the optional adaptive-stopping fields every estimate
+// endpoint accepts. rtol > 0 switches the request to sequential stopping
+// (trials becomes the budget cap); stream additionally switches the
+// response to chunked NDJSON per-wave progress.
+type precisionParams struct {
+	RTol       float64 `json:"rtol"`
+	Confidence float64 `json:"confidence"`
+	MinTrials  int     `json:"min_trials"`
+	MaxTrials  int     `json:"max_trials"`
+	Wave       int     `json:"wave"`
+	Stream     bool    `json:"stream"`
+}
+
+func (p precisionParams) precision() walk.Precision {
+	return walk.Precision{RTol: p.RTol, Confidence: p.Confidence,
+		MinTrials: p.MinTrials, MaxTrials: p.MaxTrials, Wave: p.Wave}
+}
+
+// waveJSON is one NDJSON progress line of a streamed adaptive estimate.
+type waveJSON struct {
+	Wave      int     `json:"wave"`
+	Trials    int     `json:"trials"`
+	Mean      float64 `json:"mean"`
+	CI        float64 `json:"ci"`
+	RelCI     float64 `json:"rel_ci"`
+	Truncated int     `json:"truncated"`
+	Converged bool    `json:"converged"`
+	Done      bool    `json:"done"`
+}
+
+// serveEstimate answers one estimate endpoint: plain JSON normally, or —
+// for adaptive requests with "stream": true — a chunked NDJSON response of
+// per-wave progress lines followed by a final {"result": ...} line (or an
+// {"error": ...} line, since the 200 header is already on the wire).
+func serveEstimate(w http.ResponseWriter, pp precisionParams, call func(onProgress func(walk.WaveStat)) (walk.Estimate, error)) {
+	if !pp.Stream || !pp.precision().Enabled() {
+		est, err := call(nil)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, estimateJSON(est))
+		return
+	}
+	// Wave snapshots arrive on dispatcher goroutines that must not block,
+	// so they pass through a buffered channel the handler drains onto the
+	// wire; if the client reads slowly, intermediate snapshots are dropped
+	// rather than stalling the dispatcher. The final result never drops.
+	wavec := make(chan walk.WaveStat, 64)
+	type outcome struct {
+		est walk.Estimate
+		err error
+	}
+	donec := make(chan outcome, 1)
+	go func() {
+		est, err := call(func(ws walk.WaveStat) {
+			select {
+			case wavec <- ws:
+			default:
+			}
+		})
+		donec <- outcome{est, err}
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	writeWave := func(ws walk.WaveStat) {
+		_ = enc.Encode(waveJSON{Wave: ws.Wave, Trials: ws.Trials, Mean: ws.Mean,
+			CI: ws.CI, RelCI: ws.RelCI, Truncated: ws.Truncated,
+			Converged: ws.Converged, Done: ws.Done})
+		flush()
+	}
+	for {
+		select {
+		case ws := <-wavec:
+			writeWave(ws)
+		case out := <-donec:
+		drained:
+			for {
+				select {
+				case ws := <-wavec:
+					writeWave(ws)
+				default:
+					break drained
+				}
+			}
+			if out.err != nil {
+				_ = enc.Encode(jsonError{Error: out.err.Error()})
+			} else {
+				_ = enc.Encode(struct {
+					Result estimateResponse `json:"result"`
+				}{estimateJSON(out.est)})
+			}
+			flush()
+			return
+		}
 	}
 }
 
@@ -220,6 +340,7 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			Trials   int    `json:"trials"`
 			Seed     uint64 `json:"seed"`
 			MaxSteps int64  `json:"max_steps"`
+			precisionParams
 		}
 		if !decodeInto(w, r, &req) {
 			return
@@ -229,15 +350,13 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		est, err := srv.HittingTime(ctx, serve.HittingTimeRequest{
-			Graph: req.Graph, Kernel: kernel, Start: req.Start, Target: req.Target,
-			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		serveEstimate(w, req.precisionParams, func(onProgress func(walk.WaveStat)) (walk.Estimate, error) {
+			return srv.HittingTime(ctx, serve.HittingTimeRequest{
+				Graph: req.Graph, Kernel: kernel, Start: req.Start, Target: req.Target,
+				Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+				Precision: req.precision(), OnProgress: onProgress,
+			})
 		})
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, estimateJSON(est))
 	}))
 	mux.HandleFunc("/v1/cover", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -248,6 +367,7 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			Trials   int    `json:"trials"`
 			Seed     uint64 `json:"seed"`
 			MaxSteps int64  `json:"max_steps"`
+			precisionParams
 		}
 		if !decodeInto(w, r, &req) {
 			return
@@ -257,15 +377,13 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		est, err := srv.CoverTime(ctx, serve.CoverTimeRequest{
-			Graph: req.Graph, Kernel: kernel, Start: req.Start, K: req.K,
-			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		serveEstimate(w, req.precisionParams, func(onProgress func(walk.WaveStat)) (walk.Estimate, error) {
+			return srv.CoverTime(ctx, serve.CoverTimeRequest{
+				Graph: req.Graph, Kernel: kernel, Start: req.Start, K: req.K,
+				Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+				Precision: req.precision(), OnProgress: onProgress,
+			})
 		})
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, estimateJSON(est))
 	}))
 	mux.HandleFunc("/v1/meeting", post(deadline, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -275,6 +393,7 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			Trials   int     `json:"trials"`
 			Seed     uint64  `json:"seed"`
 			MaxSteps int64   `json:"max_steps"`
+			precisionParams
 		}
 		if !decodeInto(w, r, &req) {
 			return
@@ -284,15 +403,13 @@ func newMux(srv *serve.Server, deadline time.Duration) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		est, err := srv.MeetingTime(ctx, serve.MeetingTimeRequest{
-			Graph: req.Graph, Kernel: kernel, Starts: req.Starts,
-			Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+		serveEstimate(w, req.precisionParams, func(onProgress func(walk.WaveStat)) (walk.Estimate, error) {
+			return srv.MeetingTime(ctx, serve.MeetingTimeRequest{
+				Graph: req.Graph, Kernel: kernel, Starts: req.Starts,
+				Trials: req.Trials, Seed: req.Seed, MaxSteps: req.MaxSteps,
+				Precision: req.precision(), OnProgress: onProgress,
+			})
 		})
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, estimateJSON(est))
 	}))
 	return mux
 }

@@ -110,6 +110,109 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonAdaptiveEstimate pins the adaptive JSON path: an rtol request
+// answers the standalone adaptive estimator bit-for-bit and reports its
+// wave accounting.
+func TestDaemonAdaptiveEstimate(t *testing.T) {
+	ts := newTestDaemon(t)
+	g := graph.MargulisExpander(8)
+	prec := walk.Precision{RTol: 0.2, MinTrials: 24, Wave: 16}
+	want, err := walk.EstimateKCoverTime(g, 1, 4, walk.MCOptions{
+		Trials: 1024, Workers: 1, Seed: 13, MaxSteps: 1 << 16, Precision: prec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Converged || want.Summary.N >= 1024 {
+		t.Fatalf("reference run must converge early, got %+v", want)
+	}
+	var est estimateResponse
+	code := postJSON(t, ts.URL+"/v1/cover", map[string]any{
+		"graph": "exp64", "start": 1, "k": 4, "trials": 1024, "seed": 13, "max_steps": 1 << 16,
+		"rtol": 0.2, "min_trials": 24, "wave": 16,
+	}, &est)
+	if code != http.StatusOK {
+		t.Fatalf("adaptive cover status %d", code)
+	}
+	if est.Mean != want.Summary.Mean || est.Trials != want.Summary.N ||
+		est.Waves != want.Waves || !est.Converged {
+		t.Fatalf("adaptive cover mismatch: got %+v want %+v", est, want)
+	}
+}
+
+// TestDaemonAdaptiveStream pins the chunked NDJSON progress stream: one
+// well-formed line per wave (contiguous indices, growing trials, done only
+// last), then a final result line matching the standalone adaptive run.
+func TestDaemonAdaptiveStream(t *testing.T) {
+	ts := newTestDaemon(t)
+	g := graph.MargulisExpander(8)
+	prec := walk.Precision{RTol: 0.2, MinTrials: 24, Wave: 16}
+	want, err := walk.EstimateHittingTime(g, 0, 33, walk.MCOptions{
+		Trials: 1024, Workers: 1, Seed: 7, MaxSteps: 1 << 16, Precision: prec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"graph": "exp64", "start": 0, "target": 33, "trials": 1024, "seed": 7, "max_steps": 1 << 16,
+		"rtol": 0.2, "min_trials": 24, "wave": 16, "stream": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/hitting", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var waves []waveJSON
+	var result *estimateResponse
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var line struct {
+			waveJSON
+			Result *estimateResponse `json:"result"`
+			Error  string            `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Error != "" {
+			t.Fatalf("stream error line: %s", line.Error)
+		}
+		if line.Result != nil {
+			result = line.Result
+			continue
+		}
+		waves = append(waves, line.waveJSON)
+	}
+	if result == nil {
+		t.Fatal("stream ended without a result line")
+	}
+	if len(waves) != want.Waves || len(waves) < 2 {
+		t.Fatalf("got %d wave lines, want %d", len(waves), want.Waves)
+	}
+	for i, ws := range waves {
+		if ws.Wave != i {
+			t.Fatalf("wave line %d has index %d", i, ws.Wave)
+		}
+		if i > 0 && ws.Trials <= waves[i-1].Trials {
+			t.Fatalf("wave %d trials %d not increasing", i, ws.Trials)
+		}
+		if got, wantDone := ws.Done, i == len(waves)-1; got != wantDone {
+			t.Fatalf("wave %d done=%v", i, got)
+		}
+	}
+	if result.Mean != want.Summary.Mean || result.Trials != want.Summary.N ||
+		result.Waves != want.Waves || result.Converged != want.Converged {
+		t.Fatalf("stream result %+v != standalone %+v", result, want)
+	}
+}
+
 // TestDaemonStatusCodes pins the HTTP error mapping.
 func TestDaemonStatusCodes(t *testing.T) {
 	ts := newTestDaemon(t)

@@ -9,11 +9,17 @@
 // issuing k=1 hitting-time queries on the Table-1 expander (margulis:24,
 // n=576).
 //
+// Every mode reports per-request latency percentiles (p50/p95/p99).
+// -mode adaptive instead measures time-to-tolerance: concurrent k-cover
+// estimates served with sequential stopping (-rtol, -confidence) versus
+// the same requests at the full fixed -trials budget.
+//
 // Usage:
 //
 //	walkload [-graph margulis:24] [-clients 256] [-queries 16] [-k 1]
 //	         [-ttl 1048576] [-targets 300] [-origin 0] [-seed 1]
 //	         [-kernel uniform] [-mode both] [-tick 200us] [-workers 1]
+//	         [-trials 1024] [-rtol 0.05] [-confidence 0.95]
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"manywalks/internal/graph"
 	"manywalks/internal/netsim"
 	"manywalks/internal/serve"
+	"manywalks/internal/stats"
 	"manywalks/internal/walk"
 )
 
@@ -40,14 +47,23 @@ func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
 
 // loadResult is one mode's measurement.
 type loadResult struct {
-	answers []netsim.QueryResult
-	errs    int
-	elapsed time.Duration
-	stats   serve.Stats
+	answers   []netsim.QueryResult
+	latencies []float64 // per-request latency, milliseconds, issue order
+	errs      int
+	elapsed   time.Duration
+	stats     serve.Stats
 }
 
 func (r loadResult) qps() float64 {
 	return float64(len(r.answers)) / r.elapsed.Seconds()
+}
+
+// latencyLine renders the p50/p95/p99 per-request latency percentiles.
+func latencyLine(latencies []float64) string {
+	return fmt.Sprintf("lat p50 %.2fms p95 %.2fms p99 %.2fms",
+		stats.Quantile(latencies, 0.50),
+		stats.Quantile(latencies, 0.95),
+		stats.Quantile(latencies, 0.99))
 }
 
 // runLoad drives clients × queries walk queries through one server and
@@ -68,7 +84,10 @@ func runLoad(g *graph.Graph, kernel walk.Kernel, opts serve.Options,
 	}); err != nil {
 		return loadResult{}, err
 	}
-	res := loadResult{answers: make([]netsim.QueryResult, clients*queries)}
+	res := loadResult{
+		answers:   make([]netsim.QueryResult, clients*queries),
+		latencies: make([]float64, clients*queries),
+	}
 	var errCount sync.Map
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -78,10 +97,12 @@ func runLoad(g *graph.Graph, kernel walk.Kernel, opts serve.Options,
 			defer wg.Done()
 			for q := 0; q < queries; q++ {
 				i := c*queries + q
+				t0 := time.Now()
 				a, err := srv.WalkQuery(context.Background(), serve.WalkQueryRequest{
 					Graph: "load", Kernel: kernel, Origin: origin, K: k, TTL: ttl,
 					Targets: targets, Seed: seed + uint64(i),
 				})
+				res.latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 				if err != nil {
 					errCount.Store(i, err)
 					continue
@@ -95,6 +116,79 @@ func runLoad(g *graph.Graph, kernel walk.Kernel, opts serve.Options,
 	errCount.Range(func(any, any) bool { res.errs++; return true })
 	res.stats = srv.Stats()
 	return res, nil
+}
+
+// runAdaptiveLoad is -mode adaptive: clients concurrent k-cover estimates,
+// each its own seed, served through the coalescing server — once at the
+// full fixed budget and once adaptively at rtol — reporting
+// time-to-tolerance: the trials and wall clock the sequential-stopping
+// runs needed versus what the fixed budget spends.
+func runAdaptiveLoad(out io.Writer, g *graph.Graph, kernel walk.Kernel, opts serve.Options,
+	clients, k int, maxSteps int64, origin int32, seed uint64, trials int, prec walk.Precision, workers int) error {
+	opts.Workers = workers
+	srv := serve.NewServer(opts)
+	defer srv.Close()
+	if err := srv.RegisterGraph("load", g); err != nil {
+		return err
+	}
+	// Warm the engine cache outside the timed windows.
+	if _, err := srv.CoverTime(context.Background(), serve.CoverTimeRequest{
+		Graph: "load", Kernel: kernel, Start: origin, K: k, Trials: 1, Seed: ^seed, MaxSteps: maxSteps,
+	}); err != nil {
+		return err
+	}
+	measure := func(p walk.Precision) ([]walk.Estimate, []float64, time.Duration, error) {
+		ests := make([]walk.Estimate, clients)
+		lats := make([]float64, clients)
+		errs := make([]error, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				t0 := time.Now()
+				ests[c], errs[c] = srv.CoverTime(context.Background(), serve.CoverTimeRequest{
+					Graph: "load", Kernel: kernel, Start: origin, K: k,
+					Trials: trials, Seed: seed + uint64(c), MaxSteps: maxSteps, Precision: p,
+				})
+				lats[c] = float64(time.Since(t0)) / float64(time.Millisecond)
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for c, err := range errs {
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("client %d: %w", c, err)
+			}
+		}
+		return ests, lats, elapsed, nil
+	}
+	_, fixedLats, fixedElapsed, err := measure(walk.Precision{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fixed      %4d estimates x %d trials in %12v   %s\n",
+		clients, trials, fixedElapsed.Round(time.Millisecond), latencyLine(fixedLats))
+	adEsts, adLats, adElapsed, err := measure(prec)
+	if err != nil {
+		return err
+	}
+	trialsUsed := make([]float64, clients)
+	converged := 0
+	for c, e := range adEsts {
+		trialsUsed[c] = float64(e.Summary.N)
+		if e.Converged {
+			converged++
+		}
+	}
+	meanTrials := stats.Summarize(trialsUsed).Mean
+	fmt.Fprintf(out, "adaptive   %4d estimates, mean %.0f trials (%d/%d converged) in %12v   %s\n",
+		clients, meanTrials, converged, clients, adElapsed.Round(time.Millisecond), latencyLine(adLats))
+	fmt.Fprintf(out, "time-to-tolerance: rtol=%g reached in %v  speedup %.2fx wall-clock, %.2fx trials\n",
+		prec.RTol, adElapsed.Round(time.Millisecond),
+		fixedElapsed.Seconds()/adElapsed.Seconds(), float64(trials)/meanTrials)
+	return nil
 }
 
 func parseTargets(s string) ([]int32, error) {
@@ -129,9 +223,12 @@ func run(args []string, out io.Writer) error {
 	origin := fs.Int("origin", 0, "query origin vertex")
 	seed := fs.Uint64("seed", 1, "base seed; query i uses seed+i")
 	kernelFlag := fs.String("kernel", "uniform", "walk kernel")
-	mode := fs.String("mode", "both", "naive, coalesced, or both (both verifies bit-for-bit equality)")
+	mode := fs.String("mode", "both", "naive, coalesced, both (both verifies bit-for-bit equality), or adaptive (time-to-tolerance)")
 	tick := fs.Duration("tick", 200*time.Microsecond, "coalescer gather window")
 	workers := fs.Int("workers", 1, "workers per grouped pass (0 = engine default)")
+	trials := fs.Int("trials", 1024, "adaptive mode: fixed trial budget per estimate")
+	rtol := fs.Float64("rtol", 0.05, "adaptive mode: target relative CI half-width")
+	confidence := fs.Float64("confidence", 0, "adaptive mode: CI confidence level (0 = 0.95)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -154,6 +251,18 @@ func run(args []string, out io.Writer) error {
 		return usage(err)
 	}
 	total := *clients * *queries
+	switch *mode {
+	case "naive", "coalesced", "both", "adaptive":
+	default:
+		return usage(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *mode == "adaptive" {
+		fmt.Fprintf(out, "walkload: %s (n=%d) k=%d kernel=%s  %d adaptive cover estimates, budget %d trials, rtol %g\n",
+			*spec, g.N(), *k, kernel, *clients, *trials, *rtol)
+		return runAdaptiveLoad(out, g, kernel, serve.Options{Tick: *tick},
+			*clients, *k, int64(*ttl), int32(*origin), *seed, *trials,
+			walk.Precision{RTol: *rtol, Confidence: *confidence}, *workers)
+	}
 	fmt.Fprintf(out, "walkload: %s (n=%d) k=%d ttl=%d targets=%v kernel=%s  %d clients x %d queries = %d\n",
 		*spec, g.N(), *k, *ttl, targets, kernel, *clients, *queries, total)
 
@@ -162,17 +271,12 @@ func run(args []string, out io.Writer) error {
 		return runLoad(g, kernel, serve.Options{Tick: *tick, NoCoalesce: noCoalesce},
 			*clients, *queries, *k, *ttl, int32(*origin), targets, *seed, *workers)
 	}
-	switch *mode {
-	case "naive", "coalesced", "both":
-	default:
-		return usage(fmt.Errorf("unknown mode %q", *mode))
-	}
 	if *mode == "naive" || *mode == "both" {
 		if naive, err = runMode(true); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "naive      %6d queries in %12v  -> %8.0f q/s   (per-request Engine.Run)\n",
-			total, naive.elapsed.Round(time.Millisecond), naive.qps())
+		fmt.Fprintf(out, "naive      %6d queries in %12v  -> %8.0f q/s   %s   (per-request Engine.Run)\n",
+			total, naive.elapsed.Round(time.Millisecond), naive.qps(), latencyLine(naive.latencies))
 	}
 	if *mode == "coalesced" || *mode == "both" {
 		if coalesced, err = runMode(false); err != nil {
@@ -183,8 +287,8 @@ func run(args []string, out io.Writer) error {
 		if st.Passes > 0 {
 			meanLanes = float64(st.Lanes) / float64(st.Passes)
 		}
-		fmt.Fprintf(out, "coalesced  %6d queries in %12v  -> %8.0f q/s   (%d grouped passes, mean %.0f lanes/pass)\n",
-			total, coalesced.elapsed.Round(time.Millisecond), coalesced.qps(), st.Passes, meanLanes)
+		fmt.Fprintf(out, "coalesced  %6d queries in %12v  -> %8.0f q/s   %s   (%d grouped passes, mean %.0f lanes/pass)\n",
+			total, coalesced.elapsed.Round(time.Millisecond), coalesced.qps(), latencyLine(coalesced.latencies), st.Passes, meanLanes)
 	}
 	if naive.errs+coalesced.errs > 0 {
 		return fmt.Errorf("request errors: naive %d, coalesced %d", naive.errs, coalesced.errs)

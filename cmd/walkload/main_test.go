@@ -17,7 +17,26 @@ func TestRunTinyLoad(t *testing.T) {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"naive", "coalesced", "bit-for-bit", "speedup:"} {
+	for _, want := range []string{"naive", "coalesced", "bit-for-bit", "speedup:", "lat p50", "p95", "p99"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunAdaptiveMode drives -mode adaptive end to end on a tiny shape and
+// checks the time-to-tolerance report.
+func TestRunAdaptiveMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", "margulis:8", "-mode", "adaptive", "-clients", "4",
+		"-k", "4", "-ttl", "65536", "-trials", "512", "-rtol", "0.2", "-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fixed", "adaptive", "time-to-tolerance", "rtol=0.2", "lat p50", "converged"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("output missing %q:\n%s", want, got)
 		}

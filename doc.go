@@ -72,6 +72,16 @@
 // the estimators KMeetingTime/KCoalescenceTime/PartialCoverRounds give the
 // Monte Carlo view.
 //
+// Every estimator can also stop adaptively: setting MCOptions.Precision
+// (Precision{RTol: 0.05} for a 5% relative CI at 95% confidence) runs the
+// same deterministic trial schedule in waves and stops at the first wave
+// boundary within tolerance — typically 3-4x fewer trials than a fixed
+// budget on concentrated observables, with the early-stopped answer still
+// bit-for-bit reproducible (the adaptive samples are a prefix of the
+// fixed schedule, and the stop wave is a pure function of them). The
+// Estimate reports Waves and Converged; the zero Precision keeps the
+// fixed-count path unchanged.
+//
 // The step law is pluggable: EngineOptions.Kernel selects among the
 // uniform walk (the default), the lazy walk LazyKernel(α), edge-weight-
 // proportional steps (WeightedKernel, on graphs built with
@@ -89,8 +99,11 @@
 // coalesces concurrent same-shape requests — WalkQuery, HittingTime,
 // CoverTime, MeetingTime — into single grouped engine passes, with every
 // served answer bit-for-bit equal to the standalone call for the same
-// request. cmd/walkd is its HTTP+JSON daemon and cmd/walkload the
-// coalesced-vs-naive load generator.
+// request. Estimate requests carry the same Precision knob, dispatched
+// wave by wave so converged requests release capacity early, with
+// WaveStat progress streamed through OnProgress. cmd/walkd is its
+// HTTP+JSON daemon (adaptive requests stream waves as chunked NDJSON)
+// and cmd/walkload the coalesced-vs-naive load generator.
 //
 // The full experiment suite — every table, figure and theorem check — lives
 // in the cmd/ binaries (cmd/table1, cmd/barbell, cmd/experiments, ...) and

@@ -696,6 +696,7 @@ func Experiments() []Experiment {
 		{"A-nbrw", RunAblationNonBacktracking},
 		{"E-kernels", RunKernelSpeedupSweep},
 		{"E-collab", RunCollaborationSweep},
+		{"E-adaptive", RunAdaptiveStopping},
 	}
 }
 

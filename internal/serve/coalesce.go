@@ -56,6 +56,11 @@ type shapeKey struct {
 	horizon int64
 	digest  uint64
 	salt    int
+	// prec separates adaptive requests from fixed-count ones: lanes of
+	// either kind could share a pass, but keeping the normalized precision
+	// in the key means a bucket's requests agree on their wave schedule,
+	// which keeps the dispatch accounting legible. Zero for fixed-count.
+	prec walk.Precision
 }
 
 // targetDigest is an FNV-1a fold of the target set in sorted order, so the
@@ -92,6 +97,36 @@ type pending struct {
 	seeds  []uint64
 	ctx    context.Context
 	done   chan answer
+	// adaptive is non-nil for sequential-stopping estimates: seeds then
+	// holds only the current wave's lanes, and the dispatcher requeues the
+	// next wave after folding each pass (see runBatch).
+	adaptive *adaptiveRun
+}
+
+// adaptiveRun carries one adaptive request's cross-wave state through the
+// dispatcher: the shared stopping state (the same decision procedure the
+// standalone estimators run, so answers are bit-for-bit identical), the
+// base seed its wave seeds derive from, and the outcome prefix so far.
+type adaptiveRun struct {
+	state      *walk.AdaptiveState
+	seed       uint64
+	onProgress func(walk.WaveStat)
+	rounds     []int64
+	stopped    []bool
+}
+
+// bindSeeds sets p's lane seeds: the full trial schedule for a fixed-count
+// request, or just the first wave of an adaptive run — later waves enter
+// the queue one at a time as earlier ones fold, so a converged run releases
+// its pass capacity early.
+func (p *pending) bindSeeds(st *walk.AdaptiveState, seed uint64, trials int, onProgress func(walk.WaveStat)) {
+	if st == nil {
+		p.seeds = trialSeeds(seed, trials)
+		return
+	}
+	lo, hi := st.WaveSpan()
+	p.seeds = waveSeeds(seed, lo, hi)
+	p.adaptive = &adaptiveRun{state: st, seed: seed, onProgress: onProgress}
 }
 
 type answer struct {
@@ -235,8 +270,11 @@ func (s *Server) takeWork() []*bucket {
 // must never head-of-line block sub-millisecond queries of another shape —
 // the dispatcher returns to gathering as soon as the passes are launched.
 // With drain it loops until the queue is empty and every pass has
-// delivered (requests cannot arrive during a drain: the server is closed
-// to submits first; running passes never enqueue).
+// delivered. New submits cannot arrive during a drain (the server is
+// closed first), but running passes requeue the next wave of adaptive
+// runs as they complete — so the drain loop must wait out the in-flight
+// passes before trusting an empty queue, or a mid-run adaptive client
+// would block forever.
 func (s *Server) dispatchAll(drain bool) {
 	for {
 		for _, b := range s.takeWork() {
@@ -248,19 +286,19 @@ func (s *Server) dispatchAll(drain bool) {
 				s.runBatch(b)
 			}(b)
 		}
+		if drain {
+			s.passWG.Wait()
+		}
 		s.mu.Lock()
 		more := len(s.buckets) > 0
 		s.mu.Unlock()
 		if !more {
-			break
+			return
 		}
 		if !drain {
 			s.wake() // split remainders dispatch next tick
 			return
 		}
-	}
-	if drain {
-		s.passWG.Wait()
 	}
 }
 
@@ -326,12 +364,69 @@ func (s *Server) runBatch(b *bucket) {
 	s.nPasses.Add(1)
 	s.nLanes.Add(int64(lanes))
 	off := 0
+	var again []*pending
 	for _, r := range a.live {
 		n := len(r.seeds)
 		part := walk.GroupedResult{Rounds: a.res.Rounds[off : off+n], Stopped: a.res.Stopped[off : off+n]}
-		r.done <- answerFor(r, part)
 		off += n
+		ar := r.adaptive
+		if ar == nil {
+			r.done <- answerFor(r, part)
+			continue
+		}
+		// Adaptive: fold the wave into the run's stopping state (the part
+		// slices alias pooled arena memory, so copy before the pass scratch
+		// is recycled), then either answer or requeue the next wave.
+		ar.rounds = append(ar.rounds, part.Rounds...)
+		ar.stopped = append(ar.stopped, part.Stopped...)
+		ws := ar.state.Fold(part.Rounds, part.Stopped)
+		if ar.onProgress != nil {
+			ar.onProgress(ws)
+		}
+		if ar.state.Done() {
+			r.done <- answer{est: walk.EstimateFromTrials(walk.GroupedResult{
+				Rounds: ar.rounds, Stopped: ar.stopped,
+				Waves: ar.state.Waves(), Converged: ar.state.Converged(),
+			})}
+			continue
+		}
+		lo, hi := ar.state.WaveSpan()
+		r.seeds = waveSeeds(ar.seed, lo, hi)
+		again = append(again, r)
 	}
+	if len(again) > 0 {
+		s.requeue(b, again)
+	}
+}
+
+// requeue re-files the next wave of adaptive requests under their bucket's
+// shape. Unlike enqueue it skips the closed and MaxPending admission
+// checks: these lanes continue runs that were already admitted, and a
+// draining server must still dispatch them so their clients get answers.
+func (s *Server) requeue(b *bucket, reqs []*pending) {
+	key := b.key
+	key.salt = 0
+	s.mu.Lock()
+	var dst *bucket
+	for {
+		dst = s.buckets[key]
+		if dst == nil {
+			dst = &bucket{key: key, kernel: b.kernel, targets: b.targets, marked: b.marked}
+			s.buckets[key] = dst
+			break
+		}
+		if slices.Equal(dst.targets, b.targets) {
+			break
+		}
+		key.salt++ // digest collision: probe the next salt
+	}
+	for _, r := range reqs {
+		dst.reqs = append(dst.reqs, r)
+		dst.lanes += len(r.seeds)
+		s.pendingLanes += len(r.seeds)
+	}
+	s.mu.Unlock()
+	s.wake()
 }
 
 func deliverErr(reqs []*pending, err error) {

@@ -192,6 +192,14 @@ type HittingTimeRequest struct {
 	Trials   int
 	Seed     uint64
 	MaxSteps int64
+	// Precision, when enabled, switches the estimate to adaptive
+	// sequential stopping with Trials as the budget cap; the answer is
+	// bit-for-bit walk.EstimateHittingTime with the same Precision.
+	Precision walk.Precision
+	// OnProgress, when non-nil on an adaptive request, observes each
+	// wave's running estimate. It is called on a dispatcher pass
+	// goroutine and must not block.
+	OnProgress func(walk.WaveStat)
 }
 
 // CoverTimeRequest estimates the expected k-walk cover time from Start —
@@ -205,6 +213,9 @@ type CoverTimeRequest struct {
 	Trials   int
 	Seed     uint64
 	MaxSteps int64
+	// Precision and OnProgress: see HittingTimeRequest.
+	Precision  walk.Precision
+	OnProgress func(walk.WaveStat)
 }
 
 // MeetingTimeRequest estimates the expected first-meeting round of the
@@ -218,6 +229,9 @@ type MeetingTimeRequest struct {
 	Trials   int
 	Seed     uint64
 	MaxSteps int64
+	// Precision and OnProgress: see HittingTimeRequest.
+	Precision  walk.Precision
+	OnProgress func(walk.WaveStat)
 }
 
 // ---------------------------------------------------------------------------
@@ -231,11 +245,59 @@ type MeetingTimeRequest struct {
 // produces). Externalizing the derivation is what lets one grouped pass
 // carry lanes of many requests with different root seeds.
 func trialSeeds(seed uint64, trials int) []uint64 {
-	out := make([]uint64, trials)
-	for t := range out {
-		out[t] = rng.NewStream(seed, uint64(t)).Uint64()
+	return waveSeeds(seed, 0, trials)
+}
+
+// waveSeeds derives the engine seeds of global trials [lo, hi) of a
+// request — the slice of trialSeeds an adaptive wave dispatches. Deriving
+// at the global index is what keeps every wave's lane bit-for-bit equal to
+// the same trial of the standalone (fixed or adaptive) run.
+func waveSeeds(seed uint64, lo, hi int) []uint64 {
+	out := make([]uint64, hi-lo)
+	for i := range out {
+		out[i] = rng.NewStream(seed, uint64(lo+i)).Uint64()
 	}
 	return out
+}
+
+// adaptiveFor builds the sequential-stopping state for an estimate request,
+// or returns nil when the request is fixed-count. The normalized precision
+// is what goes into the coalescing key, so requests that normalize alike
+// share buckets.
+func adaptiveFor(prec walk.Precision, trials int) (*walk.AdaptiveState, walk.Precision, error) {
+	if !prec.Enabled() {
+		return nil, walk.Precision{}, nil
+	}
+	st, err := walk.NewAdaptiveState(prec, trials)
+	if err != nil {
+		return nil, walk.Precision{}, err
+	}
+	return st, st.Precision(), nil
+}
+
+// runAdaptiveNaive is the per-request sequential path of an adaptive
+// estimate: waves of standalone engine runs with the global-index seed
+// derivation, the stop decided by the same walk.AdaptiveState the
+// coalesced path folds through — so the two paths stop at the same trial
+// with identical samples.
+func runAdaptiveNaive(st *walk.AdaptiveState, seed uint64, onProgress func(walk.WaveStat), trial func(engineSeed uint64) (int64, bool)) walk.Estimate {
+	var all walk.GroupedResult
+	for !st.Done() {
+		lo, hi := st.WaveSpan()
+		rounds := make([]int64, hi-lo)
+		stopped := make([]bool, hi-lo)
+		for t := lo; t < hi; t++ {
+			rounds[t-lo], stopped[t-lo] = trial(rng.NewStream(seed, uint64(t)).Uint64())
+		}
+		all.Rounds = append(all.Rounds, rounds...)
+		all.Stopped = append(all.Stopped, stopped...)
+		ws := st.Fold(rounds, stopped)
+		if onProgress != nil {
+			onProgress(ws)
+		}
+	}
+	all.Waves, all.Converged = st.Waves(), st.Converged()
+	return walk.EstimateFromTrials(all)
 }
 
 func (s *Server) resolve(graphID string, kernel walk.Kernel) (*graphEntry, error) {
@@ -350,16 +412,25 @@ func (s *Server) HittingTime(ctx context.Context, req HittingTimeRequest) (walk.
 	if err := checkVertices(ge.g, req.Start, req.Target); err != nil {
 		return walk.Estimate{}, err
 	}
-	seeds := trialSeeds(req.Seed, req.Trials)
+	ast, prec, err := adaptiveFor(req.Precision, req.Trials)
+	if err != nil {
+		return walk.Estimate{}, err
+	}
 	targets := []int32{req.Target}
 	if s.opts.NoCoalesce || req.MaxSteps > walk.MaxGroupedRounds {
 		s.nNaive.Add(1)
 		eng := s.engineFor(ge, req.Kernel)
 		marked := markedOf(ge.g.N(), targets)
-		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
-		for t, seed := range seeds {
+		trial := func(seed uint64) (int64, bool) {
 			hr := eng.KHit([]int32{req.Start}, marked, seed, req.MaxSteps)
-			res.Rounds[t], res.Stopped[t] = hr.Rounds, hr.Hit
+			return hr.Rounds, hr.Hit
+		}
+		if ast != nil {
+			return runAdaptiveNaive(ast, req.Seed, req.OnProgress, trial), nil
+		}
+		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
+		for t, seed := range trialSeeds(req.Seed, req.Trials) {
+			res.Rounds[t], res.Stopped[t] = trial(seed)
 		}
 		return walk.EstimateFromTrials(res), nil
 	}
@@ -368,10 +439,10 @@ func (s *Server) HittingTime(ctx context.Context, req HittingTimeRequest) (walk.
 		k:      1,
 		ttl:    req.MaxSteps,
 		starts: []int32{req.Start},
-		seeds:  seeds,
 		ctx:    ctx,
 		done:   make(chan answer, 1),
 	}
+	p.bindSeeds(ast, req.Seed, req.Trials, req.OnProgress)
 	key := shapeKey{
 		graph:   req.Graph,
 		kernel:  req.Kernel.String(),
@@ -379,6 +450,7 @@ func (s *Server) HittingTime(ctx context.Context, req HittingTimeRequest) (walk.
 		k:       1,
 		horizon: req.MaxSteps,
 		digest:  targetDigest(targets),
+		prec:    prec,
 	}
 	a, err := s.await(ctx, ge, req.Kernel, key, targets, p)
 	return a.est, err
@@ -407,15 +479,24 @@ func (s *Server) CoverTime(ctx context.Context, req CoverTimeRequest) (walk.Esti
 	if err := checkVertices(ge.g, req.Start); err != nil {
 		return walk.Estimate{}, err
 	}
-	seeds := trialSeeds(req.Seed, req.Trials)
+	ast, prec, err := adaptiveFor(req.Precision, req.Trials)
+	if err != nil {
+		return walk.Estimate{}, err
+	}
 	starts := commonStarts(req.Start, req.K)
 	if s.opts.NoCoalesce || req.MaxSteps > walk.MaxGroupedRounds {
 		s.nNaive.Add(1)
 		eng := s.engineFor(ge, req.Kernel)
-		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
-		for t, seed := range seeds {
+		trial := func(seed uint64) (int64, bool) {
 			cr := eng.KCover(starts, seed, req.MaxSteps)
-			res.Rounds[t], res.Stopped[t] = cr.Steps, cr.Covered
+			return cr.Steps, cr.Covered
+		}
+		if ast != nil {
+			return runAdaptiveNaive(ast, req.Seed, req.OnProgress, trial), nil
+		}
+		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
+		for t, seed := range trialSeeds(req.Seed, req.Trials) {
+			res.Rounds[t], res.Stopped[t] = trial(seed)
 		}
 		return walk.EstimateFromTrials(res), nil
 	}
@@ -424,16 +505,17 @@ func (s *Server) CoverTime(ctx context.Context, req CoverTimeRequest) (walk.Esti
 		k:      req.K,
 		ttl:    req.MaxSteps,
 		starts: starts,
-		seeds:  seeds,
 		ctx:    ctx,
 		done:   make(chan answer, 1),
 	}
+	p.bindSeeds(ast, req.Seed, req.Trials, req.OnProgress)
 	key := shapeKey{
 		graph:   req.Graph,
 		kernel:  req.Kernel.String(),
 		obs:     obsCover,
 		k:       req.K,
 		horizon: req.MaxSteps,
+		prec:    prec,
 	}
 	a, err := s.await(ctx, ge, req.Kernel, key, nil, p)
 	return a.est, err
@@ -464,17 +546,34 @@ func (s *Server) MeetingTime(ctx context.Context, req MeetingTimeRequest) (walk.
 	}
 	starts := make([]int32, len(req.Starts))
 	copy(starts, req.Starts)
-	seeds := trialSeeds(req.Seed, req.Trials)
+	ast, prec, err := adaptiveFor(req.Precision, req.Trials)
+	if err != nil {
+		return walk.Estimate{}, err
+	}
 	if s.opts.NoCoalesce || req.MaxSteps > walk.MaxGroupedRounds {
 		s.nNaive.Add(1)
 		eng := s.engineFor(ge, req.Kernel)
-		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
-		for t, seed := range seeds {
+		var trialErr error
+		trial := func(seed uint64) (int64, bool) {
 			mr, err := eng.KMeetingTime(starts, seed, req.MaxSteps)
-			if err != nil {
-				return walk.Estimate{}, err
+			if err != nil && trialErr == nil {
+				trialErr = err
 			}
-			res.Rounds[t], res.Stopped[t] = mr.Rounds, mr.Met
+			return mr.Rounds, mr.Met
+		}
+		if ast != nil {
+			est := runAdaptiveNaive(ast, req.Seed, req.OnProgress, trial)
+			if trialErr != nil {
+				return walk.Estimate{}, trialErr
+			}
+			return est, nil
+		}
+		res := walk.GroupedResult{Rounds: make([]int64, req.Trials), Stopped: make([]bool, req.Trials)}
+		for t, seed := range trialSeeds(req.Seed, req.Trials) {
+			res.Rounds[t], res.Stopped[t] = trial(seed)
+			if trialErr != nil {
+				return walk.Estimate{}, trialErr
+			}
 		}
 		return walk.EstimateFromTrials(res), nil
 	}
@@ -483,16 +582,17 @@ func (s *Server) MeetingTime(ctx context.Context, req MeetingTimeRequest) (walk.
 		k:      len(starts),
 		ttl:    req.MaxSteps,
 		starts: starts,
-		seeds:  seeds,
 		ctx:    ctx,
 		done:   make(chan answer, 1),
 	}
+	p.bindSeeds(ast, req.Seed, req.Trials, req.OnProgress)
 	key := shapeKey{
 		graph:   req.Graph,
 		kernel:  req.Kernel.String(),
 		obs:     obsMeet,
 		k:       len(starts),
 		horizon: req.MaxSteps,
+		prec:    prec,
 	}
 	a, err := s.await(ctx, ge, req.Kernel, key, nil, p)
 	return a.est, err

@@ -1,0 +1,213 @@
+package stats
+
+import "math"
+
+// This file holds the streaming half of the package: a one-pass Welford
+// accumulator and the Student-t critical values the adaptive (sequential
+// stopping) estimators fold their per-wave samples through. Everything here
+// is a pure function of the samples folded so far, in order — the property
+// the walk package's deterministic stop rule rests on: two hosts that fold
+// the same samples in the same order reach bit-identical means, variances,
+// confidence intervals, and therefore identical stop decisions.
+
+// Accumulator is a streaming single-pass mean/variance tracker (Welford's
+// algorithm). The zero value is ready to use. Unlike Summarize it never
+// re-reads earlier samples, so the adaptive estimators can fold waves of
+// trial outcomes as they arrive and query the running confidence interval
+// after each wave in O(1).
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.mean, a.min, a.max = x, x, x
+		a.m2 = 0
+		return
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+// N returns the number of samples folded.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 before any sample).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased (n-1 denominator) running variance; it is 0
+// for fewer than two samples.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdErr returns the standard error of the running mean (0 for fewer than
+// two samples).
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.Variance() / float64(a.n))
+}
+
+// Summary snapshots the accumulator as a Summary. Mean and Variance agree
+// with Summarize over the same samples up to floating-point association;
+// the streaming form is what the sequential-stopping rule is defined on.
+func (a *Accumulator) Summary() Summary {
+	return Summary{N: a.n, Mean: a.mean, Variance: a.Variance(), Min: a.min, Max: a.max}
+}
+
+// CI returns the half-width of a two-sided Student-t confidence interval
+// for the mean at the given confidence level (e.g. 0.95). It returns +Inf
+// for fewer than two samples — with one sample the interval is unbounded,
+// which is exactly the "cannot stop yet" answer the adaptive rule needs —
+// and 0 when the variance is 0 (a degenerate, exact sample).
+func (a *Accumulator) CI(confidence float64) float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	se := a.StdErr()
+	if se == 0 {
+		return 0
+	}
+	return TCritical(a.n-1, confidence) * se
+}
+
+// RelCI returns CI(confidence) relative to |Mean| — the quantity the
+// adaptive estimators compare against their requested rtol. The edge cases
+// are chosen so the comparison always does the right thing: a zero-width
+// interval returns 0 (the estimate is exact, even when the mean is 0), and
+// a nonzero interval around a zero mean returns +Inf (no relative target
+// can be met).
+func (a *Accumulator) RelCI(confidence float64) float64 {
+	ci := a.CI(confidence)
+	if ci == 0 {
+		return 0
+	}
+	if a.mean == 0 {
+		return math.Inf(1)
+	}
+	return ci / math.Abs(a.mean)
+}
+
+// TCritical returns the two-sided Student-t critical value t* with df
+// degrees of freedom at the given confidence level: the quantile such that
+// P(|T| <= t*) = confidence. It panics on df < 1 or confidence outside
+// (0, 1). TCritical is a deterministic pure function (bisection on the
+// exact CDF), so hosts that share (df, confidence) share the critical value
+// bit for bit.
+func TCritical(df int, confidence float64) float64 {
+	if df < 1 {
+		panic("stats: TCritical requires df >= 1")
+	}
+	if !(confidence > 0 && confidence < 1) {
+		panic("stats: confidence must be in (0,1)")
+	}
+	// P(|T| <= t) = 1 - I_{df/(df+t^2)}(df/2, 1/2), increasing in t.
+	target := confidence
+	cdf := func(t float64) float64 {
+		return 1 - regIncBeta(float64(df)/2, 0.5, float64(df)/(float64(df)+t*t))
+	}
+	lo, hi := 0.0, 2.0
+	for cdf(hi) < target {
+		hi *= 2
+		if hi > 1e12 { // confidence indistinguishable from 1 at this df
+			return hi
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if cdf(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// computed by the standard continued-fraction expansion (Lentz's method,
+// the Numerical Recipes betacf form) with the symmetry transform applied
+// when x is past the distribution's bulk.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// Prefactor x^a (1-x)^b / (a B(a,b)), via lgamma for range safety.
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

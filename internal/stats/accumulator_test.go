@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAccumulatorMatchesSummarize pins the streaming moments against the
+// two-pass reference on a few shapes, including a large-offset sample where
+// a naive sum-of-squares accumulator would lose precision.
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	cases := [][]float64{
+		{3},
+		{1, 2, 3, 4, 5},
+		{2.5, 2.5, 2.5},
+		{1e9 + 1, 1e9 + 2, 1e9 + 3, 1e9 + 4},
+		{-4, 7, 0, 3.5, -2, 19, 6},
+	}
+	for _, xs := range cases {
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		want := Summarize(xs)
+		got := a.Summary()
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("sample %v: summary %+v != %+v", xs, got, want)
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9*math.Max(1, math.Abs(want.Mean)) {
+			t.Fatalf("sample %v: mean %g != %g", xs, got.Mean, want.Mean)
+		}
+		if math.Abs(got.Variance-want.Variance) > 1e-6*math.Max(1, want.Variance) {
+			t.Fatalf("sample %v: variance %g != %g", xs, got.Variance, want.Variance)
+		}
+	}
+}
+
+// TestAccumulatorDeterministic pins that two accumulators folding the same
+// samples in the same order agree bit for bit — the property the adaptive
+// stop rule's cross-host determinism rests on.
+func TestAccumulatorDeterministic(t *testing.T) {
+	xs := []float64{3.125, 9.75, 0.0625, 1e7, 2.2, 8.125, 4.5}
+	var a, b Accumulator
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if a != b {
+		t.Fatalf("accumulators diverged: %+v vs %+v", a, b)
+	}
+	if a.CI(0.95) != b.CI(0.95) || a.RelCI(0.95) != b.RelCI(0.95) {
+		t.Fatal("CI computations diverged on identical state")
+	}
+}
+
+// TestTCritical pins the two-sided critical values against standard-table
+// values at several (df, confidence) points and the normal limit.
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		df   int
+		conf float64
+		want float64
+	}{
+		{1, 0.95, 12.7062},
+		{2, 0.95, 4.30265},
+		{5, 0.95, 2.57058},
+		{10, 0.95, 2.22814},
+		{30, 0.95, 2.04227},
+		{100, 0.95, 1.98397},
+		{10, 0.99, 3.16927},
+		{10, 0.90, 1.81246},
+		{1000, 0.95, 1.96234},
+	}
+	for _, c := range cases {
+		got := TCritical(c.df, c.conf)
+		if math.Abs(got-c.want) > 5e-4*c.want {
+			t.Errorf("TCritical(%d, %v) = %.5f, want %.5f", c.df, c.conf, got, c.want)
+		}
+	}
+	// Monotone in confidence and decreasing in df.
+	if !(TCritical(10, 0.99) > TCritical(10, 0.95)) {
+		t.Error("TCritical not increasing in confidence")
+	}
+	if !(TCritical(3, 0.95) > TCritical(300, 0.95)) {
+		t.Error("TCritical not decreasing in df")
+	}
+}
+
+// TestAccumulatorCIEdgeCases pins the documented degenerate answers: +Inf
+// before two samples, 0 for a zero-variance sample (even at mean 0), +Inf
+// relative CI around a zero mean with spread.
+func TestAccumulatorCIEdgeCases(t *testing.T) {
+	var a Accumulator
+	if ci := a.CI(0.95); !math.IsInf(ci, 1) {
+		t.Fatalf("empty accumulator CI = %v, want +Inf", ci)
+	}
+	a.Add(5)
+	if ci := a.CI(0.95); !math.IsInf(ci, 1) {
+		t.Fatalf("one-sample CI = %v, want +Inf", ci)
+	}
+	var zeros Accumulator
+	zeros.Add(0)
+	zeros.Add(0)
+	zeros.Add(0)
+	if ci := zeros.CI(0.95); ci != 0 {
+		t.Fatalf("zero-variance CI = %v, want 0", ci)
+	}
+	if rel := zeros.RelCI(0.95); rel != 0 {
+		t.Fatalf("exact zero-mean RelCI = %v, want 0", rel)
+	}
+	var sym Accumulator
+	sym.Add(-1)
+	sym.Add(1)
+	if rel := sym.RelCI(0.95); !math.IsInf(rel, 1) {
+		t.Fatalf("zero-mean spread RelCI = %v, want +Inf", rel)
+	}
+}
+
+// TestQuantileEdgeCases pins the documented empty-sample NaN and the
+// Summary.RelativeCI edge behavior.
+func TestQuantileEdgeCases(t *testing.T) {
+	if v := Quantile(nil, 0.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile(nil) = %v, want NaN", v)
+	}
+	if v := Median([]float64{}); !math.IsNaN(v) {
+		t.Fatalf("Median(empty) = %v, want NaN", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile with q out of range did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+// TestSummaryRelativeCIEdgeCases pins the exact-zero and zero-mean answers.
+func TestSummaryRelativeCIEdgeCases(t *testing.T) {
+	exact := Summarize([]float64{0, 0, 0})
+	if rel := exact.RelativeCI(); rel != 0 {
+		t.Fatalf("exact zero sample RelativeCI = %v, want 0", rel)
+	}
+	spread := Summarize([]float64{-3, 3})
+	if rel := spread.RelativeCI(); !math.IsInf(rel, 1) {
+		t.Fatalf("zero-mean spread RelativeCI = %v, want +Inf", rel)
+	}
+	normal := Summarize([]float64{9, 10, 11})
+	if rel := normal.RelativeCI(); !(rel > 0 && rel < 1) {
+		t.Fatalf("ordinary RelativeCI = %v out of expected range", rel)
+	}
+}

@@ -62,23 +62,33 @@ func (s Summary) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95(), s.N)
 }
 
-// RelativeCI returns CI95 / |Mean|, used by adaptive samplers to decide when
-// an estimate is tight enough. It returns +Inf for zero means.
+// RelativeCI returns CI95 / |Mean|, used by adaptive samplers to decide
+// when an estimate is tight enough. Edge cases are defined so comparisons
+// against a tolerance always behave: a zero-width interval returns 0 (the
+// estimate is exact, even when the mean is 0), and a nonzero interval
+// around a zero mean returns +Inf (no relative target can be met). It
+// never returns NaN.
 func (s Summary) RelativeCI() float64 {
+	ci := s.CI95()
+	if ci == 0 {
+		return 0
+	}
 	if s.Mean == 0 {
 		return math.Inf(1)
 	}
-	return s.CI95() / math.Abs(s.Mean)
+	return ci / math.Abs(s.Mean)
 }
 
 // Quantile returns the q-th (0 ≤ q ≤ 1) sample quantile of xs using linear
-// interpolation between order statistics. It sorts a copy.
+// interpolation between order statistics. It sorts a copy. An empty sample
+// returns NaN — "no data" is a value callers can render, not a panic — and
+// a q outside [0,1] still panics (that is a caller bug, not a data shape).
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: empty sample")
-	}
 	if q < 0 || q > 1 {
 		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -26,8 +26,11 @@ func TestSummarizeSingle(t *testing.T) {
 	if s.Variance != 0 || s.Mean != 7 {
 		t.Fatalf("%+v", s)
 	}
-	if !math.IsInf(Summarize([]float64{0}).RelativeCI(), 1) {
-		t.Fatal("RelativeCI of zero mean should be +Inf")
+	// A single exact-zero sample has a zero-width interval: the estimate is
+	// exact, so RelativeCI is 0 (a zero mean only maps to +Inf when the
+	// interval has width — see TestSummaryRelativeCIEdgeCases).
+	if rel := Summarize([]float64{0}).RelativeCI(); rel != 0 {
+		t.Fatalf("RelativeCI of exact zero sample = %v, want 0", rel)
 	}
 }
 

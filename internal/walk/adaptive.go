@@ -1,0 +1,231 @@
+package walk
+
+import (
+	"fmt"
+
+	"manywalks/internal/stats"
+)
+
+// This file implements the sequential-stopping layer over the grouped
+// engine: trials run in deterministic waves — wave w is trials
+// [w·W, (w+1)·W) of the same global schedule the fixed-count path runs,
+// with every seed derived from the global trial index exactly as today —
+// and after each wave the samples so far are folded into a streaming
+// Welford accumulator. The run stops at the first wave boundary where the
+// Student-t relative confidence-interval half-width is below the requested
+// tolerance (after a minimum trial count, and never past the maximum).
+//
+// The stop wave is a pure function of the samples: per-trial samples are
+// invariant under Workers/batch/chunk partitioning (the RunGrouped
+// contract), the accumulator folds them in trial order, and the critical
+// values are deterministic, so any host and any parallelism configuration
+// stops at the same trial and returns bit-identical estimates. That is the
+// property that lets the serving layer interleave waves of many requests
+// while still answering exactly what a standalone run would.
+
+// Precision requests adaptive (sequential stopping) estimation. The zero
+// value disables it: estimators run their fixed MCOptions.Trials count,
+// bit-for-bit as before. Setting RTol > 0 enables it; the estimator then
+// runs trials in waves of Wave and stops at the first wave boundary where
+// the relative CI half-width at Confidence is at most RTol, clamped to
+// [MinTrials, MaxTrials].
+//
+// Precision is a comparable value type (scalar fields only) so serving
+// layers can fold it into coalescing keys directly.
+type Precision struct {
+	// RTol is the target relative CI half-width (CI/|mean|); 0 disables
+	// adaptive stopping.
+	RTol float64
+	// Confidence is the two-sided CI level; 0 means 0.95.
+	Confidence float64
+	// MinTrials is the floor before the stop rule may fire; 0 means 8
+	// (and never below 2 — one sample has no interval).
+	MinTrials int
+	// MaxTrials caps the total trials; 0 means MCOptions.Trials, so the
+	// fixed count becomes the budget the adaptive run may stop early
+	// within.
+	MaxTrials int
+	// Wave is the wave width W; 0 means 32. The stop rule is evaluated
+	// only at wave boundaries, so W is part of the determinism contract:
+	// the same W always stops at the same trial.
+	Wave int
+}
+
+// Enabled reports whether p requests adaptive stopping.
+func (p Precision) Enabled() bool { return p.RTol > 0 }
+
+// defaults of the Precision zero fields.
+const (
+	defaultConfidence = 0.95
+	defaultMinTrials  = 8
+	defaultWave       = 32
+)
+
+// normalized fills defaults (maxTrials is the MCOptions.Trials budget) and
+// validates.
+func (p Precision) normalized(maxTrials int) (Precision, error) {
+	if p.RTol < 0 {
+		return p, fmt.Errorf("walk: Precision.RTol must be >= 0")
+	}
+	if p.Confidence == 0 {
+		p.Confidence = defaultConfidence
+	}
+	if !(p.Confidence > 0 && p.Confidence < 1) {
+		return p, fmt.Errorf("walk: Precision.Confidence must be in (0,1)")
+	}
+	if p.MinTrials <= 0 {
+		p.MinTrials = defaultMinTrials
+	}
+	if p.MinTrials < 2 {
+		p.MinTrials = 2
+	}
+	if p.MaxTrials <= 0 {
+		p.MaxTrials = maxTrials
+	}
+	if p.MaxTrials < 1 {
+		return p, fmt.Errorf("walk: Precision.MaxTrials must be >= 1")
+	}
+	if p.MinTrials > p.MaxTrials {
+		p.MinTrials = p.MaxTrials
+	}
+	if p.Wave <= 0 {
+		p.Wave = defaultWave
+	}
+	return p, nil
+}
+
+// WaveStat snapshots the adaptive run after one wave — the per-wave
+// progress record MCOptions.OnWave receives and cmd/walkd streams as
+// partial results.
+type WaveStat struct {
+	// Wave is the completed wave's index (0-based).
+	Wave int
+	// Trials is the total trials folded so far.
+	Trials int
+	// Mean and CI are the running mean and CI half-width at the requested
+	// confidence; RelCI is CI relative to |Mean|.
+	Mean, CI, RelCI float64
+	// Truncated counts trials so far that exhausted MaxSteps.
+	Truncated int
+	// Converged reports the stop rule has been met (RelCI <= RTol with at
+	// least MinTrials trials).
+	Converged bool
+	// Done reports the run stops here — converged, or MaxTrials reached.
+	Done bool
+}
+
+// AdaptiveState is the sequential-stopping decision procedure: the
+// normalized Precision, the streaming accumulator, and the wave cursor.
+// It is shared by the walk estimators and the serving layer's wave-by-wave
+// dispatch so the two can never disagree on when a run stops. Use
+// NewAdaptiveState, then alternate WaveSpan (the next wave's global trial
+// range) and Fold (fold that wave's outcomes) until Done.
+type AdaptiveState struct {
+	prec      Precision
+	acc       stats.Accumulator
+	wave      int
+	truncated int
+	converged bool
+	done      bool
+}
+
+// NewAdaptiveState returns the decision state for p with the given total
+// trial budget (the MCOptions.Trials default for MaxTrials).
+func NewAdaptiveState(p Precision, budget int) (*AdaptiveState, error) {
+	if !p.Enabled() {
+		return nil, fmt.Errorf("walk: adaptive state requires Precision.RTol > 0")
+	}
+	p, err := p.normalized(budget)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveState{prec: p}, nil
+}
+
+// Precision returns the normalized precision request.
+func (s *AdaptiveState) Precision() Precision { return s.prec }
+
+// Done reports the run is over: the stop rule fired or MaxTrials was
+// reached.
+func (s *AdaptiveState) Done() bool { return s.done }
+
+// Converged reports the stop rule was met (not a MaxTrials bailout).
+func (s *AdaptiveState) Converged() bool { return s.converged }
+
+// Trials returns the trials folded so far.
+func (s *AdaptiveState) Trials() int { return s.acc.N() }
+
+// Waves returns the waves folded so far.
+func (s *AdaptiveState) Waves() int { return s.wave }
+
+// WaveSpan returns the next wave's global trial range [lo, hi). It is
+// empty once Done.
+func (s *AdaptiveState) WaveSpan() (lo, hi int) {
+	if s.done {
+		return s.acc.N(), s.acc.N()
+	}
+	lo = s.acc.N()
+	hi = lo + s.prec.Wave
+	if hi > s.prec.MaxTrials {
+		hi = s.prec.MaxTrials
+	}
+	return lo, hi
+}
+
+// Fold folds one wave's per-trial outcomes (rounds, stopped — the
+// GroupedResult layout, censored trials included exactly as the fixed
+// path includes them) and evaluates the stop rule at the wave boundary.
+// It returns the wave's progress snapshot.
+func (s *AdaptiveState) Fold(rounds []int64, stopped []bool) WaveStat {
+	for i, r := range rounds {
+		s.acc.Add(float64(r))
+		if !stopped[i] {
+			s.truncated++
+		}
+	}
+	n := s.acc.N()
+	ci := s.acc.CI(s.prec.Confidence)
+	rel := s.acc.RelCI(s.prec.Confidence)
+	s.converged = n >= s.prec.MinTrials && rel <= s.prec.RTol
+	s.done = s.converged || n >= s.prec.MaxTrials
+	ws := WaveStat{
+		Wave:      s.wave,
+		Trials:    n,
+		Mean:      s.acc.Mean(),
+		CI:        ci,
+		RelCI:     rel,
+		Truncated: s.truncated,
+		Converged: s.converged,
+		Done:      s.done,
+	}
+	s.wave++
+	return ws
+}
+
+// adaptiveTrials is the estimator-side wave driver: it alternates WaveSpan
+// and run(base, count) — which must produce trials [base, base+count) of
+// the global schedule, locally indexed — until the stop rule fires, and
+// returns the concatenated outcomes with the wave accounting filled in.
+func adaptiveTrials(opts MCOptions, run func(base, count int) (GroupedResult, error)) (GroupedResult, error) {
+	st, err := NewAdaptiveState(opts.Precision, opts.Trials)
+	if err != nil {
+		return GroupedResult{}, err
+	}
+	var all GroupedResult
+	for !st.Done() {
+		lo, hi := st.WaveSpan()
+		res, err := run(lo, hi-lo)
+		if err != nil {
+			return GroupedResult{}, err
+		}
+		all.Rounds = append(all.Rounds, res.Rounds...)
+		all.Stopped = append(all.Stopped, res.Stopped...)
+		ws := st.Fold(res.Rounds, res.Stopped)
+		if opts.OnWave != nil {
+			opts.OnWave(ws)
+		}
+	}
+	all.Waves = st.Waves()
+	all.Converged = st.Converged()
+	return all, nil
+}

@@ -73,6 +73,15 @@ type GroupedRunSpec struct {
 	// Seed is the root seed; trial t's driver stream is NewStream(Seed, t)
 	// and its engine seed is the stream's first draw after Place.
 	Seed uint64
+	// TrialBase offsets the trial index used for seed derivation and the
+	// Place/StartsFor callbacks: the pass runs trials [TrialBase,
+	// TrialBase+Trials) of the caller's global schedule, each bit-for-bit
+	// equal to the same trial of a single TrialBase-0 pass. It is how the
+	// adaptive driver runs wave w as trials [w·W, (w+1)·W) without
+	// perturbing any trial's stream. Outputs stay locally indexed
+	// 0..Trials-1. Seeds, when set, is likewise local (len Trials — the
+	// caller already positioned it).
+	TrialBase int
 	// Seeds, when non-nil, gives every trial an explicit engine seed
 	// (len Trials), bypassing the Seed/Place derivation — the shape of
 	// callers like the netsim query sweeps that pick per-query seeds.
@@ -87,9 +96,15 @@ type GroupedRunSpec struct {
 
 // GroupedResult reports every trial's outcome: the exact round its stop
 // condition fired (Stopped true) or the exhausted budget (Stopped false).
+// Waves and Converged are filled only by the adaptive (sequential stopping)
+// driver — RunGrouped itself leaves them zero.
 type GroupedResult struct {
 	Rounds  []int64
 	Stopped []bool
+	// Waves is the number of adaptive waves run (0 for a fixed-count run).
+	Waves int
+	// Converged reports the adaptive stop rule was met before MaxTrials.
+	Converged bool
 }
 
 // GroupObserver watches the trial lanes of one grouped run. Like Observer,
@@ -334,6 +349,7 @@ func (e *Engine) RunGroupedInto(spec GroupedRunSpec, res *GroupedResult, observe
 	}
 	res.Rounds = growSlice(res.Rounds, spec.Trials)
 	res.Stopped = growSlice(res.Stopped, spec.Trials)
+	res.Waves, res.Converged = 0, false
 	gst := e.newGroupState(chunk, k)
 	defer e.gpool.Put(gst)
 	for c0 := 0; c0 < spec.Trials; c0 += chunk {
@@ -355,12 +371,16 @@ func (e *Engine) seedLane(gst *groupState, spec *GroupedRunSpec, ln, trial int) 
 	driver := &gst.driver
 	laneStarts := gst.laneStarts
 	copy(laneStarts, spec.Starts)
+	// gTrial is the trial's index in the caller's global schedule — the
+	// index every stream derivation and placement callback sees. Outputs
+	// stay indexed by the pass-local trial.
+	gTrial := spec.TrialBase + trial
 	if spec.StartsFor != nil {
-		spec.StartsFor(trial, laneStarts)
+		spec.StartsFor(gTrial, laneStarts)
 		n := e.g.N()
 		for i, s := range laneStarts {
 			if s < 0 || int(s) >= n {
-				return fmt.Errorf("walk: trial %d start[%d] = %d out of range [0,%d)", trial, i, s, n)
+				return fmt.Errorf("walk: trial %d start[%d] = %d out of range [0,%d)", gTrial, i, s, n)
 			}
 		}
 	}
@@ -368,13 +388,13 @@ func (e *Engine) seedLane(gst *groupState, spec *GroupedRunSpec, ln, trial int) 
 	if spec.Seeds != nil {
 		engineSeed = spec.Seeds[trial]
 	} else {
-		driver.Reseed(rng.StreamSeed(spec.Seed, uint64(trial)))
+		driver.Reseed(rng.StreamSeed(spec.Seed, uint64(gTrial)))
 		if spec.Place != nil {
-			spec.Place(trial, driver, laneStarts)
+			spec.Place(gTrial, driver, laneStarts)
 			n := e.g.N()
 			for i, s := range laneStarts {
 				if s < 0 || int(s) >= n {
-					return fmt.Errorf("walk: trial %d start[%d] = %d out of range [0,%d)", trial, i, s, n)
+					return fmt.Errorf("walk: trial %d start[%d] = %d out of range [0,%d)", gTrial, i, s, n)
 				}
 			}
 		}

@@ -16,6 +16,17 @@ type MCOptions struct {
 	Workers  int    // goroutines; 0 means GOMAXPROCS
 	Seed     uint64 // root seed; trial i uses stream (Seed, i)
 	MaxSteps int64  // per-trial step/round budget (required, > 0)
+
+	// Precision, when enabled (RTol > 0), switches the estimator to
+	// adaptive sequential stopping: trials run in deterministic waves and
+	// stop at the first wave boundary where the relative CI half-width
+	// meets the tolerance, with Trials as the default budget cap. The
+	// zero value keeps today's fixed-count behavior bit-for-bit.
+	Precision Precision
+	// OnWave, when non-nil, observes each adaptive wave's progress (on
+	// the estimator's goroutine, between waves). Fixed-count runs never
+	// call it.
+	OnWave func(WaveStat)
 }
 
 // normalized fills defaults and validates.
@@ -43,6 +54,15 @@ func (o MCOptions) normalized() (MCOptions, error) {
 // Effective Go style); each result is written to a distinct slice slot, so
 // no locking is needed.
 func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]float64, error) {
+	return monteCarloFrom(opts, 0, fn)
+}
+
+// monteCarloFrom is MonteCarlo over trials [base, base+opts.Trials) of the
+// global schedule: fn receives the global trial index and the stream
+// rng.NewStream(Seed, globalTrial); results stay locally indexed. It is
+// the sequential-path counterpart of GroupedRunSpec.TrialBase, used by the
+// adaptive driver's over-budget fallback waves.
+func monteCarloFrom(opts MCOptions, base int, fn func(trial int, r *rng.Source) float64) ([]float64, error) {
 	opts, err := opts.normalized()
 	if err != nil {
 		return nil, err
@@ -53,10 +73,10 @@ func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]fl
 	// handoff, and tiny-trial runs skip the producer/consumer context
 	// switches an unbuffered channel would cost per trial. Result ordering
 	// and stream derivation are unchanged — trial t still runs on
-	// rng.NewStream(Seed, t) and writes results[t].
+	// rng.NewStream(Seed, t) and writes results[t-base].
 	trials := make(chan int, opts.Trials)
 	for t := 0; t < opts.Trials; t++ {
-		trials <- t
+		trials <- base + t
 	}
 	close(trials)
 	var wg sync.WaitGroup
@@ -65,7 +85,7 @@ func MonteCarlo(opts MCOptions, fn func(trial int, r *rng.Source) float64) ([]fl
 		go func() {
 			defer wg.Done()
 			for t := range trials {
-				results[t] = fn(t, rng.NewStream(opts.Seed, uint64(t)))
+				results[t-base] = fn(t, rng.NewStream(opts.Seed, uint64(t)))
 			}
 		}()
 	}
@@ -89,10 +109,15 @@ func checkStarts(g *graph.Graph, starts []int32) error {
 // Estimate holds a Monte Carlo estimate with its uncertainty plus coverage
 // accounting: Truncated counts trials that exhausted MaxSteps; their
 // (censored) values are included in the summary, biasing it low, so any
-// nonzero count must be treated as a soft failure by callers.
+// nonzero count must be treated as a soft failure by callers. Waves and
+// Converged report the adaptive run shape when Precision was enabled
+// (Summary.N is then the trials actually run); fixed-count estimates leave
+// them zero.
 type Estimate struct {
 	Summary   stats.Summary
 	Truncated int
+	Waves     int
+	Converged bool
 }
 
 // Mean is shorthand for Summary.Mean.
@@ -106,43 +131,55 @@ func (e Estimate) CI95() float64 { return e.Summary.CI95() }
 // through MonteCarlo with the identical stream derivation — and returns
 // every trial's (rounds, covered) outcome. target 0 selects full cover.
 // The two paths are bit-for-bit interchangeable (pinned by
-// TestFusedMatchesSequentialTrials).
+// TestFusedMatchesSequentialTrials). With Precision enabled the same
+// trials run in adaptive waves instead (each wave a TrialBase-offset pass
+// of the identical global schedule), so every trial that does run is
+// bit-for-bit the fixed path's trial.
 func runCoverTrials(eng *Engine, opts MCOptions, starts []int32, target int, place func(int, *rng.Source, []int32)) (GroupedResult, error) {
-	if opts.MaxSteps <= MaxGroupedRounds {
-		return eng.RunGrouped(GroupedRunSpec{
-			Trials:    opts.Trials,
-			Starts:    starts,
-			Place:     place,
-			Seed:      opts.Seed,
-			MaxRounds: opts.MaxSteps,
-			Workers:   opts.Workers,
-		}, NewGroupCoverObserver(target))
+	run := func(base, count int) (GroupedResult, error) {
+		if opts.MaxSteps <= MaxGroupedRounds {
+			return eng.RunGrouped(GroupedRunSpec{
+				Trials:    count,
+				TrialBase: base,
+				Starts:    starts,
+				Place:     place,
+				Seed:      opts.Seed,
+				MaxRounds: opts.MaxSteps,
+				Workers:   opts.Workers,
+			}, NewGroupCoverObserver(target))
+		}
+		res := GroupedResult{Rounds: make([]int64, count), Stopped: make([]bool, count)}
+		wopts := opts
+		wopts.Trials = count
+		_, err := monteCarloFrom(wopts, base, func(t int, r *rng.Source) float64 {
+			st := starts
+			if place != nil {
+				st = make([]int32, len(starts))
+				copy(st, starts)
+				place(t, r, st)
+			}
+			var cr CoverResult
+			if target == 0 {
+				cr = eng.KCover(st, r.Uint64(), opts.MaxSteps)
+			} else {
+				cr = eng.KCoverTarget(st, target, r.Uint64(), opts.MaxSteps)
+			}
+			res.Rounds[t-base] = cr.Steps
+			res.Stopped[t-base] = cr.Covered
+			return 0
+		})
+		return res, err
 	}
-	res := GroupedResult{Rounds: make([]int64, opts.Trials), Stopped: make([]bool, opts.Trials)}
-	_, err := MonteCarlo(opts, func(t int, r *rng.Source) float64 {
-		st := starts
-		if place != nil {
-			st = make([]int32, len(starts))
-			copy(st, starts)
-			place(t, r, st)
-		}
-		var cr CoverResult
-		if target == 0 {
-			cr = eng.KCover(st, r.Uint64(), opts.MaxSteps)
-		} else {
-			cr = eng.KCoverTarget(st, target, r.Uint64(), opts.MaxSteps)
-		}
-		res.Rounds[t] = cr.Steps
-		res.Stopped[t] = cr.Covered
-		return 0
-	})
-	return res, err
+	if !opts.Precision.Enabled() {
+		return run(0, opts.Trials)
+	}
+	return adaptiveTrials(opts, run)
 }
 
 // EstimateFromTrials summarizes per-trial rounds with truncation
 // accounting: trials that exhausted the budget are censored at their
 // recorded rounds (the budget) and counted, exactly like the sequential
-// estimators.
+// estimators. Adaptive wave accounting carries through.
 func EstimateFromTrials(res GroupedResult) Estimate {
 	samples := make([]float64, len(res.Rounds))
 	truncated := 0
@@ -152,7 +189,12 @@ func EstimateFromTrials(res GroupedResult) Estimate {
 			truncated++
 		}
 	}
-	return Estimate{Summary: stats.Summarize(samples), Truncated: truncated}
+	return Estimate{
+		Summary:   stats.Summarize(samples),
+		Truncated: truncated,
+		Waves:     res.Waves,
+		Converged: res.Converged,
+	}
 }
 
 // EstimateCoverTime estimates the expected single-walk cover time from
@@ -243,23 +285,32 @@ func EstimateHittingTime(g *graph.Graph, start, target int32, opts MCOptions) (E
 
 // runHitTrials is runCoverTrials' counterpart for marked-vertex searches.
 func runHitTrials(eng *Engine, opts MCOptions, starts []int32, marked []bool) (GroupedResult, error) {
-	if opts.MaxSteps <= MaxGroupedRounds {
-		return eng.RunGrouped(GroupedRunSpec{
-			Trials:    opts.Trials,
-			Starts:    starts,
-			Seed:      opts.Seed,
-			MaxRounds: opts.MaxSteps,
-			Workers:   opts.Workers,
-		}, NewGroupHitObserver(marked))
+	run := func(base, count int) (GroupedResult, error) {
+		if opts.MaxSteps <= MaxGroupedRounds {
+			return eng.RunGrouped(GroupedRunSpec{
+				Trials:    count,
+				TrialBase: base,
+				Starts:    starts,
+				Seed:      opts.Seed,
+				MaxRounds: opts.MaxSteps,
+				Workers:   opts.Workers,
+			}, NewGroupHitObserver(marked))
+		}
+		res := GroupedResult{Rounds: make([]int64, count), Stopped: make([]bool, count)}
+		wopts := opts
+		wopts.Trials = count
+		_, err := monteCarloFrom(wopts, base, func(t int, r *rng.Source) float64 {
+			hr := eng.KHit(starts, marked, r.Uint64(), opts.MaxSteps)
+			res.Rounds[t-base] = hr.Rounds
+			res.Stopped[t-base] = hr.Hit
+			return 0
+		})
+		return res, err
 	}
-	res := GroupedResult{Rounds: make([]int64, opts.Trials), Stopped: make([]bool, opts.Trials)}
-	_, err := MonteCarlo(opts, func(t int, r *rng.Source) float64 {
-		hr := eng.KHit(starts, marked, r.Uint64(), opts.MaxSteps)
-		res.Rounds[t] = hr.Rounds
-		res.Stopped[t] = hr.Hit
-		return 0
-	})
-	return res, err
+	if !opts.Precision.Enabled() {
+		return run(0, opts.Trials)
+	}
+	return adaptiveTrials(opts, run)
 }
 
 // CoverTimeTail estimates Pr[τ > t] for the provided horizon t by running

@@ -245,23 +245,40 @@ func EstimateKMeetingTime(g *graph.Graph, starts []int32, opts MCOptions) (Estim
 		return Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
-	if opts.MaxSteps > MaxGroupedRounds {
-		return kernelEstimate(opts, func(_ int, r *rng.Source) (float64, bool) {
-			res, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
+	// Trial-fused pass: every trial is one collision lane. Over-budget
+	// horizons fall back to sequential engine runs with the identical
+	// stream derivation.
+	run := func(base, count int) (GroupedResult, error) {
+		if opts.MaxSteps <= MaxGroupedRounds {
+			return eng.RunGrouped(GroupedRunSpec{
+				Trials:    count,
+				TrialBase: base,
+				Starts:    starts,
+				Seed:      opts.Seed,
+				MaxRounds: opts.MaxSteps,
+				Workers:   opts.Workers,
+			}, NewGroupCollisionObserver(false))
+		}
+		res := GroupedResult{Rounds: make([]int64, count), Stopped: make([]bool, count)}
+		wopts := opts
+		wopts.Trials = count
+		_, err := monteCarloFrom(wopts, base, func(t int, r *rng.Source) float64 {
+			mr, err := eng.KMeetingTime(starts, r.Uint64(), opts.MaxSteps)
 			if err != nil {
 				panic(err.Error()) // validated above; unreachable
 			}
-			return float64(res.Rounds), res.Met
+			res.Rounds[t-base] = mr.Rounds
+			res.Stopped[t-base] = mr.Met
+			return 0
 		})
+		return res, err
 	}
-	// Trial-fused pass: every trial is one collision lane.
-	res, err := eng.RunGrouped(GroupedRunSpec{
-		Trials:    opts.Trials,
-		Starts:    starts,
-		Seed:      opts.Seed,
-		MaxRounds: opts.MaxSteps,
-		Workers:   opts.Workers,
-	}, NewGroupCollisionObserver(false))
+	var res GroupedResult
+	if opts.Precision.Enabled() {
+		res, err = adaptiveTrials(opts, run)
+	} else {
+		res, err = run(0, opts.Trials)
+	}
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -286,51 +303,75 @@ func EstimateKCoalescenceTime(g *graph.Graph, starts []int32, opts MCOptions) (c
 		return Estimate{}, Estimate{}, err
 	}
 	eng := NewEngine(g, EngineOptions{Workers: 1})
-	meets := make([]float64, opts.Trials)
+	// Trial-fused pass: coalescence lanes also record each trial's first
+	// meeting round, so both estimates come from the same fused run. The
+	// run closure appends each wave's meeting rounds in trial order (waves
+	// run sequentially), so the meet estimate covers exactly the trials
+	// the adaptive stop — which watches the coalescence samples — ran.
+	var meets []float64
 	meetTruncated := 0
-	if opts.MaxSteps > MaxGroupedRounds {
-		var mu sync.Mutex
-		coalesce, err = kernelEstimate(opts, func(trial int, r *rng.Source) (float64, bool) {
-			res, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
+	run := func(base, count int) (GroupedResult, error) {
+		if opts.MaxSteps <= MaxGroupedRounds {
+			col := NewGroupCollisionObserver(true)
+			res, err := eng.RunGrouped(GroupedRunSpec{
+				Trials:    count,
+				TrialBase: base,
+				Starts:    starts,
+				Seed:      opts.Seed,
+				MaxRounds: opts.MaxSteps,
+				Workers:   opts.Workers,
+			}, col)
+			if err != nil {
+				return GroupedResult{}, err
+			}
+			for trial := 0; trial < count; trial++ {
+				m := col.TrialMeetRound(trial)
+				if m < 0 {
+					m = opts.MaxSteps
+					meetTruncated++
+				}
+				meets = append(meets, float64(m))
+			}
+			return res, nil
+		}
+		res := GroupedResult{Rounds: make([]int64, count), Stopped: make([]bool, count)}
+		waveMeets := make([]float64, count)
+		waveTrunc := make([]bool, count)
+		wopts := opts
+		wopts.Trials = count
+		if _, err := monteCarloFrom(wopts, base, func(t int, r *rng.Source) float64 {
+			cr, err := eng.KCoalescenceTime(starts, r.Uint64(), opts.MaxSteps)
 			if err != nil {
 				panic(err.Error()) // validated above; unreachable
 			}
-			m := res.FirstMeeting
+			m := cr.FirstMeeting
 			if m < 0 {
 				m = opts.MaxSteps
-				mu.Lock()
-				meetTruncated++
-				mu.Unlock()
+				waveTrunc[t-base] = true
 			}
-			meets[trial] = float64(m)
-			return float64(res.Rounds), res.Coalesced
-		})
-		if err != nil {
-			return Estimate{}, Estimate{}, err
+			waveMeets[t-base] = float64(m)
+			res.Rounds[t-base] = cr.Rounds
+			res.Stopped[t-base] = cr.Coalesced
+			return 0
+		}); err != nil {
+			return GroupedResult{}, err
 		}
-		meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
-		return coalesce, meet, nil
+		meets = append(meets, waveMeets...)
+		for _, tr := range waveTrunc {
+			if tr {
+				meetTruncated++
+			}
+		}
+		return res, nil
 	}
-	// Trial-fused pass: coalescence lanes also record each trial's first
-	// meeting round, so both estimates come from the same fused run.
-	col := NewGroupCollisionObserver(true)
-	res, err := eng.RunGrouped(GroupedRunSpec{
-		Trials:    opts.Trials,
-		Starts:    starts,
-		Seed:      opts.Seed,
-		MaxRounds: opts.MaxSteps,
-		Workers:   opts.Workers,
-	}, col)
+	var res GroupedResult
+	if opts.Precision.Enabled() {
+		res, err = adaptiveTrials(opts, run)
+	} else {
+		res, err = run(0, opts.Trials)
+	}
 	if err != nil {
 		return Estimate{}, Estimate{}, err
-	}
-	for trial := range meets {
-		m := col.TrialMeetRound(trial)
-		if m < 0 {
-			m = opts.MaxSteps
-			meetTruncated++
-		}
-		meets[trial] = float64(m)
 	}
 	meet = Estimate{Summary: stats.Summarize(meets), Truncated: meetTruncated}
 	return EstimateFromTrials(res), meet, nil

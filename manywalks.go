@@ -285,6 +285,21 @@ type MCOptions = walk.MCOptions
 // Estimate is a Monte Carlo mean with CI and truncation accounting.
 type Estimate = walk.Estimate
 
+// Precision requests adaptive sequential stopping from the estimators: set
+// MCOptions.Precision with RTol > 0 and trials run in deterministic waves,
+// stopping at the first wave boundary whose Student-t relative CI
+// half-width is within RTol at the requested Confidence. The adaptive
+// samples are a prefix of the fixed schedule (same seeds, same trial
+// order), and the stop wave is a pure function of them, so the answer is
+// bit-for-bit reproducible under every Workers/batch configuration. The
+// zero value keeps the fixed-count path unchanged.
+type Precision = walk.Precision
+
+// WaveStat is one wave-boundary snapshot of an adaptive run: trials folded
+// so far, running mean and CI half-width, and the stop decision. Serving
+// requests stream them through their OnProgress callbacks.
+type WaveStat = walk.WaveStat
+
 // CoverTime estimates the expected single-walk cover time from start.
 func CoverTime(g *Graph, start int32, opts MCOptions) (Estimate, error) {
 	return walk.EstimateCoverTime(g, start, opts)
