@@ -13,7 +13,12 @@
 // (walker-steps/sec), the corpus acceptance unit. Since BENCH_PR8 the set
 // adds AdaptiveEstimate* rows — cover estimates under sequential stopping
 // at rtol=0.05 @95% — reporting trials_used, the mean trials-to-tolerance,
-// next to their fixed-count twins.
+// next to their fixed-count twins. Since BENCH_PR9 the set adds
+// ServeCluster rows — mixed-shape walk queries over loopback HTTP through
+// the shape-affinity router onto 1 or 3 walkd-shaped replicas, affinity vs
+// round-robin — whose trials/sec is cluster-served queries/sec. Replica
+// scaling (r1 vs r3) needs a multi-core box to show; the affinity vs
+// round-robin gap is a batching effect and shows on any box.
 //
 // -compare diffs the run against an earlier committed snapshot, printing
 // the per-row ns/op delta and exiting nonzero if any row regressed past
@@ -26,18 +31,24 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"regexp"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"manywalks/internal/cluster"
 	"manywalks/internal/graph"
+	"manywalks/internal/httpapi"
 	"manywalks/internal/serve"
 	"manywalks/internal/walk"
 )
@@ -208,6 +219,16 @@ func pinned() []pinnedBench {
 	for _, w := range benchWorkerGrid {
 		rows = append(rows, pinnedBench{"ServeWalkQuery/expander576_c256_coalesced" + workerSuffix(w), 1, 0, nil, servedThroughput(expander, false, w)})
 	}
+	// Cluster-served rows (new in PR 9): 256 concurrent HTTP clients issuing
+	// k=1 hitting-time walk queries over 8 distinct shapes through the
+	// shape-affinity router. r1 is the single-replica HTTP baseline; r3
+	// affinity vs r3 roundrobin isolates what routing policy does to batch
+	// width (round-robin fragments each shape's stream across replicas).
+	rows = append(rows,
+		pinnedBench{"ServeCluster/expander576_c256_s8_r1_affinity", 1, 0, nil, clusterThroughput(expander, 1, cluster.Affinity)},
+		pinnedBench{"ServeCluster/expander576_c256_s8_r3_affinity", 1, 0, nil, clusterThroughput(expander, 3, cluster.Affinity)},
+		pinnedBench{"ServeCluster/expander576_c256_s8_r3_roundrobin", 1, 0, nil, clusterThroughput(expander, 3, cluster.RoundRobin)},
+	)
 	// Corpus-throughput rows (new in PR 7): 10 truncated walks of length 80
 	// from every vertex of the 4096-vertex expander, streamed to a discard
 	// sink; steps/sec is walker-steps/sec, the corpus acceptance unit. Text
@@ -282,6 +303,106 @@ func servedThroughput(g *graph.Graph, naive bool, workers int) func(b *testing.B
 	}
 }
 
+// clusterThroughput benchmarks walk queries served through the
+// shape-affinity router over a loopback fleet, end to end over HTTP: 256
+// persistent concurrent clients spread over 8 distinct single-target
+// shapes, each op one query. The fleet and router are rebuilt per
+// measurement outside the timed window.
+func clusterThroughput(g *graph.Graph, replicas int, policy cluster.Policy) func(b *testing.B) {
+	const clients, shapes = 256, 8
+	return func(b *testing.B) {
+		var cleanup []func()
+		defer func() {
+			for i := len(cleanup) - 1; i >= 0; i-- {
+				cleanup[i]()
+			}
+		}()
+		urls := make([]string, 0, replicas)
+		for i := 0; i < replicas; i++ {
+			s := serve.NewServer(serve.Options{Workers: 1})
+			if err := s.RegisterGraph("g", g); err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs := &http.Server{Handler: httpapi.NewMux(s, 30*time.Second)}
+			go func() { _ = hs.Serve(ln) }()
+			cleanup = append(cleanup, s.Close, func() { _ = hs.Close() })
+			urls = append(urls, "http://"+ln.Addr().String())
+		}
+		rt, err := cluster.New(cluster.Options{
+			Backends: urls, Policy: policy, HealthInterval: -1, MaxIdlePerBackend: clients,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cleanup = append(cleanup, rt.Close)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		front := &http.Server{Handler: rt}
+		go func() { _ = front.Serve(ln) }()
+		cleanup = append(cleanup, func() { _ = front.Close() })
+		frontURL := "http://" + ln.Addr().String()
+
+		transport := &http.Transport{MaxIdleConns: 2 * clients, MaxIdleConnsPerHost: clients}
+		client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+		cleanup = append(cleanup, transport.CloseIdleConnections)
+		targets := make([]int32, shapes)
+		for j := range targets {
+			targets[j] = int32((300 + j*31) % g.N())
+		}
+		query := func(shape int, seed uint64) error {
+			body, err := json.Marshal(map[string]any{
+				"graph": "g", "origin": 0, "k": 1, "ttl": 1 << 20,
+				"targets": []int32{targets[shape]}, "seed": seed,
+			})
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(frontURL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			return nil
+		}
+		for j := range targets { // warm every shape's engine untimed
+			if err := query(j, ^uint64(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var seed atomic.Uint64
+		var remaining atomic.Int64
+		remaining.Store(int64(b.N))
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for remaining.Add(-1) >= 0 {
+					if err := query(c%shapes, seed.Add(1)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.StopTimer()
+	}
+}
+
 // compareReport is the outcome of diffing a run against an earlier
 // snapshot: one rendered line per comparable row, plus the names of rows
 // whose ns/op regressed past the threshold.
@@ -326,7 +447,7 @@ func compareRows(oldRows, newRows []row, threshold float64) compareReport {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR9.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
 	match := flag.String("bench", "", "run only benchmarks whose name matches this regexp (CI smoke)")
 	compare := flag.String("compare", "", "earlier snapshot JSON to diff against; regressions past -threshold exit nonzero")

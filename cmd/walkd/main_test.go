@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"manywalks/internal/graph"
+	"manywalks/internal/httpapi"
 	"manywalks/internal/netsim"
 	"manywalks/internal/serve"
 	"manywalks/internal/walk"
@@ -19,11 +20,11 @@ import (
 // newTestDaemon spins the daemon's HTTP stack over a small graph set.
 func newTestDaemon(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := buildServer("exp64=margulis:8,cycle32=cycle:32", serve.Options{Tick: 100 * time.Microsecond})
+	srv, err := httpapi.BuildServer("exp64=margulis:8,cycle32=cycle:32", serve.Options{Tick: 100 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(srv, 10*time.Second))
+	ts := httptest.NewServer(httpapi.NewMux(srv, 10*time.Second))
 	t.Cleanup(func() {
 		ts.Close()
 		srv.Close()
@@ -125,7 +126,7 @@ func TestDaemonAdaptiveEstimate(t *testing.T) {
 	if !want.Converged || want.Summary.N >= 1024 {
 		t.Fatalf("reference run must converge early, got %+v", want)
 	}
-	var est estimateResponse
+	var est httpapi.EstimateResponse
 	code := postJSON(t, ts.URL+"/v1/cover", map[string]any{
 		"graph": "exp64", "start": 1, "k": 4, "trials": 1024, "seed": 13, "max_steps": 1 << 16,
 		"rtol": 0.2, "min_trials": 24, "wave": 16,
@@ -169,14 +170,14 @@ func TestDaemonAdaptiveStream(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("stream content type %q", ct)
 	}
-	var waves []waveJSON
-	var result *estimateResponse
+	var waves []httpapi.WaveLine
+	var result *httpapi.EstimateResponse
 	dec := json.NewDecoder(resp.Body)
 	for dec.More() {
 		var line struct {
-			waveJSON
-			Result *estimateResponse `json:"result"`
-			Error  string            `json:"error"`
+			httpapi.WaveLine
+			Result *httpapi.EstimateResponse `json:"result"`
+			Error  string                    `json:"error"`
 		}
 		if err := dec.Decode(&line); err != nil {
 			t.Fatal(err)
@@ -188,7 +189,7 @@ func TestDaemonAdaptiveStream(t *testing.T) {
 			result = line.Result
 			continue
 		}
-		waves = append(waves, line.waveJSON)
+		waves = append(waves, line.WaveLine)
 	}
 	if result == nil {
 		t.Fatal("stream ended without a result line")
@@ -259,11 +260,11 @@ func TestDaemonStatusCodes(t *testing.T) {
 // TestBuildServerErrors pins the -graphs spec validation.
 func TestBuildServerErrors(t *testing.T) {
 	for _, bad := range []string{"noequals", "x=unknown:3", "x=cycle:zero", "x=cycle:2", "x=barbell:8"} {
-		if _, err := buildServer(bad, serve.Options{}); err == nil {
+		if _, err := httpapi.BuildServer(bad, serve.Options{}); err == nil {
 			t.Fatalf("spec %q accepted", bad)
 		}
 	}
-	s, err := buildServer(defaultGraphs, serve.Options{})
+	s, err := httpapi.BuildServer(defaultGraphs, serve.Options{})
 	if err != nil {
 		t.Fatalf("default graphs: %v", err)
 	}
@@ -281,5 +282,39 @@ func TestRunUsage(t *testing.T) {
 	}
 	if err := run([]string{"-graphs", "broken"}, &out); err == nil {
 		t.Fatal("bad -graphs accepted")
+	}
+}
+
+// TestDaemonStatsEndpoint pins the /v1/stats wire format: the traffic and
+// engine-cache counters plus the per-shape batching rows the cluster load
+// report consumes.
+func TestDaemonStatsEndpoint(t *testing.T) {
+	ts := newTestDaemon(t)
+	for seed := uint64(0); seed < 4; seed++ {
+		if code := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"graph": "exp64", "origin": 3, "k": 2, "ttl": 4096,
+			"targets": []int32{40}, "seed": seed,
+		}, nil); code != http.StatusOK {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st httpapi.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 4 || st.Lanes != 4 {
+		t.Fatalf("stats %+v, want 4 requests / 4 lanes", st.Stats)
+	}
+	if st.EngineMisses != 1 || st.EngineHits < 1 {
+		t.Fatalf("engine counters %+v, want 1 miss and >=1 hits", st.Stats)
+	}
+	if len(st.Shapes) != 1 || st.Shapes[0].Class != "hit" || st.Shapes[0].Lanes != 4 ||
+		st.Shapes[0].Graph != "exp64" || st.Shapes[0].LanesPerPass <= 0 {
+		t.Fatalf("shape rows %+v", st.Shapes)
 	}
 }

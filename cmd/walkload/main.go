@@ -14,27 +14,45 @@
 // estimates served with sequential stopping (-rtol, -confidence) versus
 // the same requests at the full fixed -trials budget.
 //
+// -mode cluster drives mixed-shape traffic over HTTP through a
+// shape-affinity router (internal/cluster) onto a fleet of -replicas
+// in-process walkd-shaped backends (or an external router via -router),
+// reporting aggregate q/s, the per-replica request distribution, and the
+// router's failover/shadow-verification counters; every answer is verified
+// bit-for-bit against the standalone sequential computation. All HTTP
+// traffic shares one sized http.Transport (keep-alives on,
+// MaxIdleConnsPerHost >= -clients) so the measurement exercises the
+// serving stack, not connection churn.
+//
 // Usage:
 //
 //	walkload [-graph margulis:24] [-clients 256] [-queries 16] [-k 1]
 //	         [-ttl 1048576] [-targets 300] [-origin 0] [-seed 1]
 //	         [-kernel uniform] [-mode both] [-tick 200us] [-workers 1]
 //	         [-trials 1024] [-rtol 0.05] [-confidence 0.95]
+//	         [-replicas 3] [-policy affinity] [-shapes 8] [-shadow 0]
+//	         [-router http://host:8370] [-verify]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"manywalks/internal/cluster"
 	"manywalks/internal/graph"
+	"manywalks/internal/httpapi"
 	"manywalks/internal/netsim"
 	"manywalks/internal/serve"
 	"manywalks/internal/stats"
@@ -191,6 +209,232 @@ func runAdaptiveLoad(out io.Writer, g *graph.Graph, kernel walk.Kernel, opts ser
 	return nil
 }
 
+// clusterConfig parameterizes -mode cluster.
+type clusterConfig struct {
+	routerURL string // external router; "" spawns an in-process fleet
+	replicas  int
+	policy    cluster.Policy
+	shadow    int
+	shapes    int
+	clients   int
+	queries   int
+	k, ttl    int
+	origin    int32
+	baseTgt   int32
+	seed      uint64
+	tick      time.Duration
+	workers   int
+	verify    bool
+}
+
+// localReplica is one in-process walkd-shaped backend on a loopback port.
+type localReplica struct {
+	srv  *serve.Server
+	http *http.Server
+	url  string
+}
+
+func startReplica(g *graph.Graph, tick time.Duration, workers int) (*localReplica, error) {
+	srv := serve.NewServer(serve.Options{Tick: tick, Workers: workers})
+	if err := srv.RegisterGraph("load", g); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	r := &localReplica{
+		srv:  srv,
+		http: &http.Server{Handler: httpapi.NewMux(srv, 30*time.Second)},
+		url:  "http://" + ln.Addr().String(),
+	}
+	go func() { _ = r.http.Serve(ln) }()
+	return r, nil
+}
+
+func (r *localReplica) close() {
+	_ = r.http.Close()
+	r.srv.Close()
+}
+
+// runClusterLoad is -mode cluster: mixed-shape walk-query traffic through
+// a shape-affinity (or round-robin) router over a walkd fleet, measured
+// over HTTP end to end and verified bit-for-bit against the standalone
+// sequential computation.
+func runClusterLoad(out io.Writer, g *graph.Graph, kernel walk.Kernel, cfg clusterConfig) error {
+	// shapeTargets spreads the shapes over distinct single-target sets so
+	// the traffic is genuinely mixed-shape (what affinity routing sorts).
+	shapeTargets := make([]int32, cfg.shapes)
+	n := int32(g.N())
+	for j := range shapeTargets {
+		t := (cfg.baseTgt + int32(j)*31) % n
+		if t == cfg.origin {
+			t = (t + 1) % n
+		}
+		shapeTargets[j] = t
+	}
+
+	routerURL := cfg.routerURL
+	if routerURL == "" {
+		replicas := make([]*localReplica, 0, cfg.replicas)
+		defer func() {
+			for _, r := range replicas {
+				r.close()
+			}
+		}()
+		urls := make([]string, 0, cfg.replicas)
+		for i := 0; i < cfg.replicas; i++ {
+			r, err := startReplica(g, cfg.tick, cfg.workers)
+			if err != nil {
+				return err
+			}
+			replicas = append(replicas, r)
+			urls = append(urls, r.url)
+		}
+		rt, err := cluster.New(cluster.Options{
+			Backends:          urls,
+			Policy:            cfg.policy,
+			ShadowSample:      cfg.shadow,
+			HealthInterval:    -1, // loopback fleet: passive detection only
+			MaxIdlePerBackend: cfg.clients,
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		front := &http.Server{Handler: rt}
+		go func() { _ = front.Serve(ln) }()
+		defer front.Close()
+		routerURL = "http://" + ln.Addr().String()
+	}
+
+	// The shared sized transport: keep-alives on and an idle pool at least
+	// as deep as the client concurrency, so the timed window measures the
+	// routing and serving stack rather than TCP connection churn.
+	transport := &http.Transport{
+		MaxIdleConns:        2 * cfg.clients,
+		MaxIdleConnsPerHost: cfg.clients,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := &http.Client{Transport: transport, Timeout: 60 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	doQuery := func(target int32, seed uint64) (int, []byte, error) {
+		body, err := json.Marshal(map[string]any{
+			"graph": "load", "origin": cfg.origin, "k": cfg.k, "ttl": cfg.ttl,
+			"kernel": kernel.String(), "targets": []int32{target}, "seed": seed,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Post(routerURL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		answer, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, answer, err
+	}
+
+	// Warm every shape's engine outside the timed window, mirroring the
+	// in-process modes: each replica pays compilation once, untimed.
+	for _, t := range shapeTargets {
+		if code, body, err := doQuery(t, ^cfg.seed); err != nil || code != http.StatusOK {
+			return fmt.Errorf("warm query failed: status %d err %v body %s", code, err, body)
+		}
+	}
+
+	total := cfg.clients * cfg.queries
+	answers := make([][]byte, total)
+	targets := make([]int32, total)
+	seeds := make([]uint64, total)
+	latencies := make([]float64, total)
+	var failed sync.Map
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			shape := shapeTargets[c%cfg.shapes]
+			for q := 0; q < cfg.queries; q++ {
+				i := c*cfg.queries + q
+				targets[i], seeds[i] = shape, cfg.seed+uint64(i)
+				t0 := time.Now()
+				code, body, err := doQuery(targets[i], seeds[i])
+				latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+				if err != nil || code != http.StatusOK {
+					failed.Store(i, fmt.Sprintf("status %d err %v", code, err))
+					continue
+				}
+				answers[i] = body
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	nFailed := 0
+	failed.Range(func(any, any) bool { nFailed++; return true })
+
+	fleet := fmt.Sprintf("replicas=%d", cfg.replicas)
+	if cfg.routerURL != "" {
+		fleet = "router=" + cfg.routerURL
+	}
+	fmt.Fprintf(out, "cluster    %6d queries in %12v  -> %8.0f q/s   %s   (policy=%s %s shapes=%d)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
+		latencyLine(latencies), cfg.policy, fleet, cfg.shapes)
+
+	// Pull the router's counters and the per-replica distribution.
+	if resp, err := client.Get(routerURL + "/v1/stats"); err == nil {
+		var st cluster.Stats
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if decErr == nil {
+			fmt.Fprintf(out, "routing: failovers=%d unrouted=%d shadow_checks=%d shadow_mismatches=%d\n",
+				st.Failovers, st.Unrouted, st.ShadowChecks, st.ShadowMismatches)
+			for i, b := range st.Backends {
+				line := fmt.Sprintf("replica %d: requests=%-6d failures=%d healthy=%v", i, b.Requests, b.Failures, b.Healthy)
+				var ss httpapi.StatsResponse
+				if len(b.Serve) > 0 && json.Unmarshal(b.Serve, &ss) == nil && ss.Passes > 0 {
+					line += fmt.Sprintf("  passes=%-5d lanes=%-6d (%.1f lanes/pass)",
+						ss.Passes, ss.Lanes, float64(ss.Lanes)/float64(ss.Passes))
+				}
+				fmt.Fprintln(out, line)
+			}
+		}
+	}
+	if nFailed > 0 {
+		return fmt.Errorf("cluster load: %d of %d requests failed", nFailed, total)
+	}
+
+	if cfg.verify {
+		eng := walk.NewEngine(g, walk.EngineOptions{Workers: 1})
+		hasItem := make([]bool, g.N())
+		for i := 0; i < total; i++ {
+			hasItem[targets[i]] = true
+			res := netsim.RunWalkQueryEngine(eng, cfg.origin, cfg.k, cfg.ttl, hasItem, seeds[i])
+			hasItem[targets[i]] = false
+			exp, err := json.Marshal(httpapi.QueryResponse{Found: res.Found, Rounds: res.Rounds, Messages: res.Messages})
+			if err != nil {
+				return err
+			}
+			exp = append(exp, '\n')
+			if !bytes.Equal(answers[i], exp) {
+				return fmt.Errorf("answer %d (target %d seed %d) differs: cluster %q, standalone %q",
+					i, targets[i], seeds[i], answers[i], exp)
+			}
+		}
+		fmt.Fprintf(out, "verify: all %d cluster answers bit-for-bit equal to standalone sequential\n", total)
+	}
+	return nil
+}
+
 func parseTargets(s string) ([]int32, error) {
 	var out []int32
 	for _, f := range strings.Split(s, ",") {
@@ -223,12 +467,18 @@ func run(args []string, out io.Writer) error {
 	origin := fs.Int("origin", 0, "query origin vertex")
 	seed := fs.Uint64("seed", 1, "base seed; query i uses seed+i")
 	kernelFlag := fs.String("kernel", "uniform", "walk kernel")
-	mode := fs.String("mode", "both", "naive, coalesced, both (both verifies bit-for-bit equality), or adaptive (time-to-tolerance)")
+	mode := fs.String("mode", "both", "naive, coalesced, both (both verifies bit-for-bit equality), adaptive (time-to-tolerance), or cluster (HTTP fleet through the shape-affinity router)")
 	tick := fs.Duration("tick", 200*time.Microsecond, "coalescer gather window")
 	workers := fs.Int("workers", 1, "workers per grouped pass (0 = engine default)")
 	trials := fs.Int("trials", 1024, "adaptive mode: fixed trial budget per estimate")
 	rtol := fs.Float64("rtol", 0.05, "adaptive mode: target relative CI half-width")
 	confidence := fs.Float64("confidence", 0, "adaptive mode: CI confidence level (0 = 0.95)")
+	replicas := fs.Int("replicas", 3, "cluster mode: in-process walkd replicas behind the router")
+	policyFlag := fs.String("policy", "affinity", "cluster mode: routing policy (affinity or roundrobin)")
+	shapes := fs.Int("shapes", 8, "cluster mode: distinct request shapes in the mix")
+	shadow := fs.Int("shadow", 0, "cluster mode: shadow-verify every Nth answer on a second replica (0 disables)")
+	routerURL := fs.String("router", "", "cluster mode: external router URL (default spawns an in-process fleet)")
+	verify := fs.Bool("verify", true, "cluster mode: check every answer against the standalone computation")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -252,9 +502,29 @@ func run(args []string, out io.Writer) error {
 	}
 	total := *clients * *queries
 	switch *mode {
-	case "naive", "coalesced", "both", "adaptive":
+	case "naive", "coalesced", "both", "adaptive", "cluster":
 	default:
 		return usage(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *mode == "cluster" {
+		policy, err := cluster.ParsePolicy(*policyFlag)
+		if err != nil {
+			return usage(err)
+		}
+		if *replicas < 1 || *shapes < 1 {
+			return usage(fmt.Errorf("replicas and shapes must be >= 1"))
+		}
+		if *shadow < 0 {
+			return usage(fmt.Errorf("shadow sample must be >= 0"))
+		}
+		fmt.Fprintf(out, "walkload: %s (n=%d) k=%d ttl=%d kernel=%s  %d clients x %d queries = %d over %d shapes\n",
+			*spec, g.N(), *k, *ttl, kernel, *clients, *queries, total, *shapes)
+		return runClusterLoad(out, g, kernel, clusterConfig{
+			routerURL: *routerURL, replicas: *replicas, policy: policy,
+			shadow: *shadow, shapes: *shapes, clients: *clients, queries: *queries,
+			k: *k, ttl: *ttl, origin: int32(*origin), baseTgt: targets[0],
+			seed: *seed, tick: *tick, workers: *workers, verify: *verify,
+		})
 	}
 	if *mode == "adaptive" {
 		fmt.Fprintf(out, "walkload: %s (n=%d) k=%d kernel=%s  %d adaptive cover estimates, budget %d trials, rtol %g\n",

@@ -43,6 +43,47 @@ func TestRunAdaptiveMode(t *testing.T) {
 	}
 }
 
+// TestRunClusterMode drives -mode cluster end to end: an in-process
+// 3-replica fleet behind the shape-affinity router, mixed-shape traffic
+// with shadow verification on, and the bit-for-bit check against the
+// standalone computation.
+func TestRunClusterMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-graph", "margulis:8", "-mode", "cluster", "-clients", "9", "-queries", "4",
+		"-ttl", "4096", "-replicas", "3", "-shapes", "3", "-shadow", "2", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"policy=affinity replicas=3", "unrouted=0", "shadow_mismatches=0",
+		"replica 0:", "replica 2:", "verify: all 36 cluster answers bit-for-bit",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "shadow_checks=") || strings.Contains(got, "shadow_checks=0") {
+		t.Fatalf("shadow sampling did not run:\n%s", got)
+	}
+
+	// Round-robin over the same fleet must spread one shape across replicas.
+	out.Reset()
+	err = run([]string{
+		"-graph", "margulis:8", "-mode", "cluster", "-clients", "6", "-queries", "3",
+		"-ttl", "4096", "-replicas", "2", "-shapes", "1", "-policy", "roundrobin", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("roundrobin run: %v\n%s", err, out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "policy=roundrobin") ||
+		strings.Contains(got, "requests=0 ") {
+		t.Fatalf("round-robin left a replica idle:\n%s", got)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-clients") {
@@ -53,6 +94,10 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-mode", "sideways"},
 		{"-targets", "x"},
 		{"-clients", "0"},
+		{"-mode", "cluster", "-replicas", "0"},
+		{"-mode", "cluster", "-shapes", "0"},
+		{"-mode", "cluster", "-shadow", "-1"},
+		{"-mode", "cluster", "-policy", "random"},
 	} {
 		if err := run(bad, &out); err == nil {
 			t.Fatalf("args %v accepted", bad)

@@ -1,0 +1,126 @@
+// Command walkrouter fronts a fleet of walkd replicas with shape-affinity
+// routing: each request is consistent-hashed by its shape digest (graph ×
+// kernel × observer class × canonical target set) onto the ring of
+// backends, so all concurrent traffic for one shape lands on the same
+// replica's coalescer and batches exactly as wide as it would on a single
+// box. Because every replica computes deterministically, the router can
+// retry a failed request on the next ring replica and the client receives
+// the byte-identical answer — failover is invisible and no request is
+// lost. A sampled fraction of answers can additionally be shadow-verified
+// against a second replica by raw byte comparison.
+//
+// Usage:
+//
+//	walkrouter -backends host:8371,host:8372,host:8373
+//	           [-addr :8370] [-policy affinity|roundrobin] [-vnodes 64]
+//	           [-shadow 0] [-health 1s] [-max-idle 512]
+//
+// The router exposes walkd's wire surface unchanged (/healthz, /v1/graphs,
+// /v1/query, /v1/hitting, /v1/cover, /v1/meeting) plus its own /v1/stats:
+// routing counters, per-backend health/traffic, and each backend's
+// embedded serve stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"manywalks/internal/cluster"
+)
+
+var errUsage = errors.New("usage error")
+
+func usage(err error) error { return fmt.Errorf("%w: %w", errUsage, err) }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("walkrouter", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8370", "listen address")
+	backends := fs.String("backends", "", "comma-separated walkd replica addresses (required)")
+	policy := fs.String("policy", "affinity", "routing policy: affinity (shape-hash) or roundrobin")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	shadow := fs.Int("shadow", 0, "shadow-verify every Nth answer against a second replica (0 disables)")
+	health := fs.Duration("health", time.Second, "replica /healthz polling interval")
+	maxIdle := fs.Int("max-idle", 512, "keep-alive connections per backend")
+	drainWait := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return usage(err)
+	}
+	var backendList []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backendList = append(backendList, b)
+		}
+	}
+	if len(backendList) == 0 {
+		return usage(errors.New("-backends required"))
+	}
+	pol, err := cluster.ParsePolicy(*policy)
+	if err != nil {
+		return usage(err)
+	}
+	if *health <= 0 {
+		return usage(errors.New("-health must be positive"))
+	}
+	rt, err := cluster.New(cluster.Options{
+		Backends:          backendList,
+		Policy:            pol,
+		VNodes:            *vnodes,
+		ShadowSample:      *shadow,
+		HealthInterval:    *health,
+		MaxIdlePerBackend: *maxIdle,
+	})
+	if err != nil {
+		return usage(err)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt, ReadHeaderTimeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(out, "walkrouter: draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(out, "walkrouter: policy=%s replicas=%d listening on %s\n", pol, len(backendList), ln.Addr())
+	for _, b := range backendList {
+		fmt.Fprintf(out, "walkrouter: backend %s\n", b)
+	}
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := rt.Stats()
+	fmt.Fprintf(out, "walkrouter: routed %d (%d failovers, %d unrouted, %d/%d shadow mismatches)\n",
+		st.Routed, st.Failovers, st.Unrouted, st.ShadowMismatches, st.ShadowChecks)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "walkrouter:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors covers the usage paths of run.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil || !strings.Contains(out.String(), "-backends") {
+		t.Fatalf("-h must print usage, got %v", err)
+	}
+	for _, args := range [][]string{
+		{},                                          // no backends
+		{"-backends", " , "},                        // only blanks
+		{"-backends", "x", "-policy", "random"},     // bad policy
+		{"-backends", "x", "-health", "-1s"},        // poller cannot be disabled from the CLI
+		{"-backends", "x", "-shadow", "-2"},         // negative sample
+		{"-backends", "x", "-addr", "256.0.0.1:-1"}, // unusable listen address
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package cluster scales the serving layer past one box: a thin HTTP
+// router consistent-hashes each request by its shape digest (the
+// serve.RequestShape canonicalization) onto a ring of walkd replicas, so
+// same-shape traffic lands on the same coalescer and batches exactly as
+// wide as it would on a single box — scale-out widens the fleet without
+// fragmenting the batches that make coalescing pay.
+//
+// Determinism is what makes the fleet cheap to operate: trial t of a
+// request seeded s is a pure function of (s, t) on every replica, so
+// replicas are bit-for-bit interchangeable. The router exploits that twice.
+// Failover: a request that fails on its home replica (connection refused,
+// 429 admission rejection, a mid-flight kill) is retried on the next
+// replica in ring order and the client receives the byte-identical answer
+// it would have gotten — no request is lost and no client can tell. Shadow
+// verification: a configurable sample of answers is re-requested from a
+// second replica and compared byte-for-byte; any divergence (a corrupted
+// replica, a version skew) surfaces as a counter instead of silent wrong
+// answers.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per replica: enough points that
+// the keyspace split between replicas stays within a few percent of even.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed replica set. Each replica
+// owns VNodes pseudo-randomly placed points; a digest routes to the owner
+// of the first point clockwise from it. The construction is a pure
+// function of the replica addresses, so every router instance over the
+// same fleet — and every restart — agrees on placement.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// NewRing builds the ring over replicas (identified by index; hashed by
+// address so placement survives restarts and reordering-insensitive
+// configs). vnodes <= 0 selects DefaultVNodes.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{n: len(replicas)}
+	r.points = make([]ringPoint, 0, len(replicas)*vnodes)
+	for i, addr := range replicas {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(addr, v), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// Replicas reports the replica count.
+func (r *Ring) Replicas() int { return r.n }
+
+// Sequence appends to buf the full replica order for digest: the first
+// index is the shape's home, the rest the deterministic failover order
+// (each subsequent index is the next distinct replica clockwise). Every
+// replica appears exactly once. buf is reused to keep the router's hot
+// path allocation-free.
+func (r *Ring) Sequence(digest uint64, buf []int) []int {
+	buf = buf[:0]
+	if r.n == 0 {
+		return buf
+	}
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= digest })
+	for len(buf) < r.n {
+		if i == len(r.points) {
+			i = 0
+		}
+		p := r.points[i].replica
+		if !containsInt(buf, p) {
+			buf = append(buf, p)
+		}
+		i++
+	}
+	return buf
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pointHash places vnode v of addr on the ring: FNV-1a over "addr#v",
+// pushed through a finalizing mixer. The finalizer matters: raw FNV of
+// short, similar strings is uneven in its high bits, and arc ownership is
+// decided by the high-bit order of the points — without the mix a replica
+// can own a small fraction of its fair keyspace share.
+func pointHash(addr string, v int) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(addr); i++ {
+		mix(addr[i])
+	}
+	mix('#')
+	for _, b := range strconv.AppendInt(nil, int64(v), 10) {
+		mix(b)
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

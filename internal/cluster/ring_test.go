@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// splitmix64 generates well-spread test digests deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var testReplicas = []string{"http://10.0.0.1:8371", "http://10.0.0.2:8371", "http://10.0.0.3:8371"}
+
+// TestRingSequenceDeterministic pins that ring construction and failover
+// order are pure functions of the replica set: two independently built
+// rings agree on every digest, and each sequence names every replica
+// exactly once with the home first.
+func TestRingSequenceDeterministic(t *testing.T) {
+	r1 := NewRing(testReplicas, 0)
+	r2 := NewRing(testReplicas, 0)
+	var buf1, buf2 []int
+	for i := uint64(0); i < 500; i++ {
+		d := splitmix64(i)
+		buf1 = r1.Sequence(d, buf1)
+		buf2 = r2.Sequence(d, buf2)
+		if !reflect.DeepEqual(buf1, buf2) {
+			t.Fatalf("digest %x: rings disagree: %v vs %v", d, buf1, buf2)
+		}
+		if len(buf1) != len(testReplicas) {
+			t.Fatalf("digest %x: sequence %v not a full permutation", d, buf1)
+		}
+		seen := map[int]bool{}
+		for _, p := range buf1 {
+			if p < 0 || p >= len(testReplicas) || seen[p] {
+				t.Fatalf("digest %x: bad sequence %v", d, buf1)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count spreads the keyspace roughly
+// evenly: over many digests no replica owns less than half its fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(testReplicas, 0)
+	counts := make([]int, len(testReplicas))
+	var buf []int
+	const keys = 30000
+	for i := uint64(0); i < keys; i++ {
+		buf = r.Sequence(splitmix64(i), buf)
+		counts[buf[0]]++
+	}
+	fair := keys / len(testReplicas)
+	for i, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Fatalf("replica %d owns %d of %d keys (fair %d): %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingStability pins the consistent-hashing property the fleet relies
+// on: removing one replica reassigns only the keys it owned — every key
+// homed on a survivor keeps its home, and the displaced keys land on the
+// replica that was already their first failover choice.
+func TestRingStability(t *testing.T) {
+	full := NewRing(testReplicas, 0)
+	reduced := NewRing(testReplicas[:2], 0)
+	var bufF, bufR []int
+	moved := 0
+	for i := uint64(0); i < 2000; i++ {
+		d := splitmix64(i)
+		bufF = full.Sequence(d, bufF)
+		bufR = reduced.Sequence(d, bufR)
+		if bufF[0] < 2 {
+			if bufR[0] != bufF[0] {
+				t.Fatalf("digest %x: home moved %d -> %d though its replica survived", d, bufF[0], bufR[0])
+			}
+			continue
+		}
+		moved++
+		// Keys homed on the removed replica must land on their old failover
+		// target — exactly where the router would already have retried them.
+		next := bufF[1]
+		if next == 2 {
+			next = bufF[2]
+		}
+		if bufR[0] != next {
+			t.Fatalf("digest %x: displaced key landed on %d, want failover target %d", d, bufR[0], next)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys; balance test should have caught this")
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate ring sizes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 0).Sequence(42, nil); len(got) != 0 {
+		t.Fatalf("empty ring sequence %v", got)
+	}
+	one := NewRing([]string{"http://solo:1"}, 0)
+	for i := uint64(0); i < 10; i++ {
+		if got := one.Sequence(splitmix64(i), nil); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("single ring sequence %v", got)
+		}
+	}
+}

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
+)
+
+// Policy selects how the router spreads traffic over the fleet.
+type Policy uint8
+
+const (
+	// Affinity routes each request to the ring owner of its shape digest,
+	// so all concurrent traffic for one shape meets in one coalescer and
+	// batches as wide as on a single box. This is the default and the point
+	// of the package.
+	Affinity Policy = iota
+	// RoundRobin ignores shape and rotates across replicas — the baseline
+	// affinity is measured against: it fragments each shape's batch stream
+	// N ways, multiplying grouped passes.
+	RoundRobin
+)
+
+// ParsePolicy parses "affinity" or "roundrobin".
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "affinity", "":
+		return Affinity, nil
+	case "roundrobin", "round-robin", "rr":
+		return RoundRobin, nil
+	}
+	return Affinity, fmt.Errorf("cluster: unknown policy %q (want affinity or roundrobin)", s)
+}
+
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "roundrobin"
+	}
+	return "affinity"
+}
+
+// Options configures a Router.
+type Options struct {
+	// Backends are the walkd replica base URLs (host:port accepted;
+	// "http://" is assumed). At least one is required.
+	Backends []string
+	// Policy selects shape-affinity (default) or round-robin routing.
+	Policy Policy
+	// VNodes is the ring's virtual-node count per replica (0 = DefaultVNodes).
+	VNodes int
+	// ShadowSample re-requests every Nth successful answer from a second
+	// replica and byte-compares the bodies, counting mismatches. 0 disables.
+	// The sample is counter-based, not random, so a run's check count is
+	// deterministic.
+	ShadowSample int
+	// HealthInterval is the /healthz polling period (0 = 1s; negative
+	// disables the poller — passive marking from request failures still
+	// runs, which is what deterministic tests want).
+	HealthInterval time.Duration
+	// MaxIdlePerBackend sizes the keep-alive pool toward each replica; it
+	// should be at least the expected client concurrency so retries and
+	// shadow checks never stall on connection setup (0 = 512).
+	MaxIdlePerBackend int
+}
+
+type backendState struct {
+	url      string
+	healthy  atomic.Bool
+	requests atomic.Int64 // answers served through this replica
+	failures atomic.Int64 // failed attempts (transport errors, 429, 503)
+}
+
+// Router is the shape-affinity HTTP front end over a walkd fleet. It is an
+// http.Handler exposing the walkd wire surface; clients need no changes.
+type Router struct {
+	opts     Options
+	ring     *Ring
+	backends []*backendState
+	client   *http.Client
+	mux      *http.ServeMux
+
+	rr      atomic.Uint64 // round-robin rotation
+	shadowN atomic.Uint64 // shadow-sample counter
+
+	routed           atomic.Int64 // answers delivered to clients
+	failovers        atomic.Int64 // answers that needed >= 1 retry
+	unrouted         atomic.Int64 // requests no replica could serve
+	shadowChecks     atomic.Int64
+	shadowMismatches atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a router over opts.Backends and starts its health poller
+// (unless disabled). Close releases both.
+func New(opts Options) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("cluster: at least one backend required")
+	}
+	if opts.ShadowSample < 0 {
+		return nil, fmt.Errorf("cluster: shadow sample %d must be >= 0", opts.ShadowSample)
+	}
+	perBackend := opts.MaxIdlePerBackend
+	if perBackend <= 0 {
+		perBackend = 512
+	}
+	rt := &Router{
+		opts: opts,
+		stop: make(chan struct{}),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        perBackend * len(opts.Backends),
+			MaxIdleConnsPerHost: perBackend,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+	}
+	urls := make([]string, len(opts.Backends))
+	for i, b := range opts.Backends {
+		u := strings.TrimRight(strings.TrimSpace(b), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty backend address at index %d", i)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls[i] = u
+		bs := &backendState{url: u}
+		bs.healthy.Store(true)
+		rt.backends = append(rt.backends, bs)
+	}
+	rt.ring = NewRing(urls, opts.VNodes)
+	rt.mux = rt.buildMux()
+	if opts.HealthInterval >= 0 {
+		interval := opts.HealthInterval
+		if interval == 0 {
+			interval = time.Second
+		}
+		rt.wg.Add(1)
+		go rt.pollHealth(interval)
+	}
+	return rt, nil
+}
+
+// Close stops the health poller and releases idle connections.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+	rt.client.CloseIdleConnections()
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// BackendStats is one replica's row in the router's /v1/stats.
+type BackendStats struct {
+	URL      string          `json:"url"`
+	Healthy  bool            `json:"healthy"`
+	Requests int64           `json:"requests"`
+	Failures int64           `json:"failures"`
+	Serve    json.RawMessage `json:"serve,omitempty"`
+}
+
+// Stats is the router's /v1/stats body.
+type Stats struct {
+	Policy           string         `json:"policy"`
+	Routed           int64          `json:"routed"`
+	Failovers        int64          `json:"failovers"`
+	Unrouted         int64          `json:"unrouted"`
+	ShadowChecks     int64          `json:"shadow_checks"`
+	ShadowMismatches int64          `json:"shadow_mismatches"`
+	Backends         []BackendStats `json:"backends"`
+}
+
+// Stats snapshots the router counters (without the per-backend Serve
+// payloads the HTTP endpoint adds).
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Policy:           rt.opts.Policy.String(),
+		Routed:           rt.routed.Load(),
+		Failovers:        rt.failovers.Load(),
+		Unrouted:         rt.unrouted.Load(),
+		ShadowChecks:     rt.shadowChecks.Load(),
+		ShadowMismatches: rt.shadowMismatches.Load(),
+	}
+	for _, b := range rt.backends {
+		st.Backends = append(st.Backends, BackendStats{
+			URL: b.url, Healthy: b.healthy.Load(),
+			Requests: b.requests.Load(), Failures: b.failures.Load(),
+		})
+	}
+	return st
+}
+
+func (rt *Router) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/v1/graphs", rt.proxyGet("/v1/graphs"))
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := rt.Stats()
+		for i, b := range rt.backends {
+			if raw, err := rt.fetchRaw(b.url + "/v1/stats"); err == nil {
+				st.Backends[i].Serve = raw
+			}
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/v1/query", rt.proxyShaped(serve.ShapeHit))
+	mux.HandleFunc("/v1/hitting", rt.proxyShaped(serve.ShapeHit))
+	mux.HandleFunc("/v1/cover", rt.proxyShaped(serve.ShapeCover))
+	mux.HandleFunc("/v1/meeting", rt.proxyShaped(serve.ShapeMeet))
+	return mux
+}
+
+// shapeFields are the request fields the router reads to classify a
+// request; everything else passes through opaquely.
+type shapeFields struct {
+	Graph   string  `json:"graph"`
+	Kernel  string  `json:"kernel"`
+	Targets []int32 `json:"targets"`
+	Target  int32   `json:"target"`
+	Stream  bool    `json:"stream"`
+}
+
+// proxyShaped builds the handler for one POST endpoint: classify the
+// request into its RequestShape, pick the replica order for the active
+// policy, and walk that order until a replica answers.
+func (rt *Router) proxyShaped(class serve.ShapeClass) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
+		// Undecodable bodies still route (to the zero shape's home) so the
+		// backend produces the canonical 400; the router adds no opinions.
+		var sf shapeFields
+		_ = json.Unmarshal(body, &sf)
+		targets := sf.Targets
+		if r.URL.Path == "/v1/hitting" {
+			targets = []int32{sf.Target}
+		}
+		shape := serve.RequestShape{
+			Graph:   sf.Graph,
+			Kernel:  canonicalKernel(sf.Kernel),
+			Class:   class,
+			Targets: targets,
+		}
+		order := rt.replicaOrder(shape.Digest())
+		rt.forward(w, r, body, order, sf.Stream)
+	}
+}
+
+// canonicalKernel maps the wire kernel string to its canonical spelling so
+// e.g. "lazy" and "lazy:0.5" share a ring position; unparseable strings
+// route on their raw spelling (the backend rejects them anyway).
+func canonicalKernel(s string) string {
+	k, err := walk.ParseKernel(s)
+	if err != nil {
+		return s
+	}
+	return k.String()
+}
+
+// replicaOrder is the attempt order for one request: under Affinity the
+// ring sequence of the shape digest (home first, deterministic failover
+// order after); under RoundRobin a rotation that ignores shape.
+func (rt *Router) replicaOrder(digest uint64) []int {
+	n := len(rt.backends)
+	order := make([]int, 0, n)
+	if rt.opts.Policy == RoundRobin {
+		start := int(rt.rr.Add(1)-1) % n
+		for i := 0; i < n; i++ {
+			order = append(order, (start+i)%n)
+		}
+		return order
+	}
+	return rt.ring.Sequence(digest, order)
+}
+
+// forward walks order until a replica answers, trying healthy replicas
+// before unhealthy ones (so a fleet that is entirely marked down is still
+// attempted rather than hard-failed on stale health state). Transport
+// failures and 503 mark the replica unhealthy; 429 is pure backpressure
+// and does not. Because replicas are deterministic, a retried answer is
+// byte-identical to the one the dead replica would have produced — the
+// client cannot observe the failover.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, order []int, stream bool) {
+	attempts := make([]int, 0, len(order))
+	for _, i := range order {
+		if rt.backends[i].healthy.Load() {
+			attempts = append(attempts, i)
+		}
+	}
+	for _, i := range order {
+		if !rt.backends[i].healthy.Load() {
+			attempts = append(attempts, i)
+		}
+	}
+	var lastErr string
+	for attempt, i := range attempts {
+		b := rt.backends[i]
+		resp, err := rt.post(r.Context(), b.url+r.URL.Path, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone; nothing to answer
+			}
+			b.healthy.Store(false)
+			b.failures.Add(1)
+			lastErr = err.Error()
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			drain(resp)
+			b.failures.Add(1)
+			lastErr = "429 from " + b.url
+			continue
+		case http.StatusServiceUnavailable:
+			drain(resp)
+			b.healthy.Store(false)
+			b.failures.Add(1)
+			lastErr = "503 from " + b.url
+			continue
+		}
+		b.requests.Add(1)
+		rt.routed.Add(1)
+		if attempt > 0 {
+			rt.failovers.Add(1)
+		}
+		if stream {
+			rt.copyStream(w, resp)
+			return
+		}
+		answer, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// Body died mid-read after a good header: too late to retry
+			// transparently (the status line is already decided), surface it.
+			writeJSON(w, http.StatusBadGateway, errorBody{Error: "backend read: " + err.Error()})
+			return
+		}
+		if resp.StatusCode == http.StatusOK && rt.opts.ShadowSample > 0 &&
+			rt.shadowN.Add(1)%uint64(rt.opts.ShadowSample) == 0 {
+			rt.shadowVerify(r.Context(), r.URL.Path, body, answer, attempts, i)
+		}
+		copyHeader(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(answer)
+		return
+	}
+	rt.unrouted.Add(1)
+	msg := "no replica available"
+	if lastErr != "" {
+		msg += ": " + lastErr
+	}
+	writeJSON(w, http.StatusBadGateway, errorBody{Error: msg})
+}
+
+// shadowVerify re-requests the answer from the next distinct healthy
+// replica and byte-compares. Sound because replica answers are
+// deterministic encodings: any byte difference is a real divergence.
+func (rt *Router) shadowVerify(ctx context.Context, path string, body, answer []byte, attempts []int, served int) {
+	for _, i := range attempts {
+		if i == served || !rt.backends[i].healthy.Load() {
+			continue
+		}
+		resp, err := rt.post(ctx, rt.backends[i].url+path, body)
+		if err != nil {
+			return // can't check, don't guess
+		}
+		second, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return
+		}
+		rt.shadowChecks.Add(1)
+		if !bytes.Equal(answer, second) {
+			rt.shadowMismatches.Add(1)
+		}
+		return
+	}
+}
+
+// copyStream relays a chunked NDJSON response, flushing per read so wave
+// progress lines reach the client as they are produced.
+func (rt *Router) copyStream(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	copyHeader(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (rt *Router) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.client.Do(req)
+}
+
+// proxyGet forwards a GET endpoint to the first replica that answers, in
+// index order (the payload is replica-independent).
+func (rt *Router) proxyGet(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range rt.backends {
+				if (pass == 0) != b.healthy.Load() {
+					continue
+				}
+				req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+path, nil)
+				if err != nil {
+					continue
+				}
+				resp, err := rt.client.Do(req)
+				if err != nil {
+					b.healthy.Store(false)
+					continue
+				}
+				answer, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					continue
+				}
+				copyHeader(w, resp)
+				w.WriteHeader(resp.StatusCode)
+				_, _ = w.Write(answer)
+				return
+			}
+		}
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: "no replica available"})
+	}
+}
+
+// fetchRaw GETs url and returns the body if it is valid JSON (used to
+// embed backend stats verbatim).
+func (rt *Router) fetchRaw(url string) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || !json.Valid(raw) {
+		return nil, errors.New("cluster: bad stats body")
+	}
+	return json.RawMessage(raw), nil
+}
+
+// pollHealth probes every replica's /healthz each interval, restoring
+// replicas that passive marking took down once they answer again.
+func (rt *Router) pollHealth(interval time.Duration) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			for _, b := range rt.backends {
+				b.healthy.Store(rt.probe(b.url))
+			}
+		}
+	}
+}
+
+func (rt *Router) probe(url string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	drain(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func copyHeader(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}

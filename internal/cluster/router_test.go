@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/httpapi"
+	"manywalks/internal/netsim"
+	"manywalks/internal/serve"
+	"manywalks/internal/walk"
+)
+
+// testBackend is one in-process walkd replica plus a hit counter.
+type testBackend struct {
+	ts   *httptest.Server
+	srv  *serve.Server
+	hits atomic.Int64
+}
+
+// newBackend builds a real walkd-shaped replica over graphs.
+func newBackend(t *testing.T, graphs string) *testBackend {
+	t.Helper()
+	srv, err := httpapi.BuildServer(graphs, serve.Options{Tick: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &testBackend{srv: srv}
+	mux := httpapi.NewMux(srv, 10*time.Second)
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		b.ts.Close()
+		srv.Close()
+	})
+	return b
+}
+
+func newFleet(t *testing.T, n int, graphs string) ([]*testBackend, []string) {
+	t.Helper()
+	backends := make([]*testBackend, n)
+	urls := make([]string, n)
+	for i := range backends {
+		backends[i] = newBackend(t, graphs)
+		urls[i] = backends[i].ts.URL
+	}
+	return backends, urls
+}
+
+func newTestRouter(t *testing.T, opts Options) *Router {
+	t.Helper()
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = -1 // deterministic tests drive health passively
+	}
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func postBody(t *testing.T, client *http.Client, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func queryBody(target int32, seed uint64) map[string]any {
+	return map[string]any{
+		"graph": "g", "origin": 3, "k": 2, "ttl": 4096,
+		"targets": []int32{target}, "seed": seed,
+	}
+}
+
+// queryShape mirrors the router's classification of queryBody.
+func queryShape(target int32) serve.RequestShape {
+	return serve.RequestShape{Graph: "g", Kernel: "uniform", Class: serve.ShapeHit, Targets: []int32{target}}
+}
+
+// wireQuery renders the exact bytes a replica answers res with: the
+// deterministic encoder's output plus the Encoder's trailing newline.
+func wireQuery(res netsim.QueryResult) []byte {
+	b, _ := json.Marshal(httpapi.QueryResponse{Found: res.Found, Rounds: res.Rounds, Messages: res.Messages})
+	return append(b, '\n')
+}
+
+// TestParsePolicy pins the policy flag syntax.
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"affinity": Affinity, "": Affinity, "roundrobin": RoundRobin, "RR": RoundRobin, "round-robin": RoundRobin} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if Affinity.String() != "affinity" || RoundRobin.String() != "roundrobin" {
+		t.Fatal("policy names changed")
+	}
+}
+
+// TestRouterOptionErrors pins constructor validation.
+func TestRouterOptionErrors(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := New(Options{Backends: []string{"  "}, HealthInterval: -1}); err == nil {
+		t.Fatal("blank backend accepted")
+	}
+	if _, err := New(Options{Backends: []string{"x"}, ShadowSample: -1, HealthInterval: -1}); err == nil {
+		t.Fatal("negative shadow sample accepted")
+	}
+}
+
+// TestAffinityRouting pins the tentpole behavior: every request of a shape
+// lands on that shape's ring home, so one replica sees the whole shape's
+// stream and can batch it.
+func TestAffinityRouting(t *testing.T) {
+	backends, urls := newFleet(t, 3, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: urls})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	ring := NewRing(urls, 0)
+	wantHits := make([]int64, len(backends))
+	const perShape = 5
+	for shape := int32(0); shape < 4; shape++ {
+		home := ring.Sequence(queryShape(10+shape).Digest(), nil)[0]
+		wantHits[home] += perShape
+		for seed := uint64(0); seed < perShape; seed++ {
+			code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10+shape, seed))
+			if code != http.StatusOK {
+				t.Fatalf("shape %d seed %d: status %d: %s", shape, seed, code, body)
+			}
+		}
+	}
+	for i, b := range backends {
+		if got := b.hits.Load(); got != wantHits[i] {
+			t.Fatalf("backend %d served %d requests, want %d (affinity broken)", i, got, wantHits[i])
+		}
+	}
+	st := rt.Stats()
+	if st.Routed != 20 || st.Failovers != 0 || st.Unrouted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRoundRobinDistribution pins the baseline policy: same-shape traffic
+// rotates evenly across the fleet instead of meeting in one coalescer.
+func TestRoundRobinDistribution(t *testing.T) {
+	backends, urls := newFleet(t, 3, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: urls, Policy: RoundRobin})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	for seed := uint64(0); seed < 30; seed++ {
+		if code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10, seed)); code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, code, body)
+		}
+	}
+	for i, b := range backends {
+		if got := b.hits.Load(); got != 10 {
+			t.Fatalf("backend %d served %d, want exactly 10 under round-robin", i, got)
+		}
+	}
+}
+
+// TestFailoverDeterminismMidLoad is the zero-loss bit-for-bit failover
+// test: a 3-replica fleet serves concurrent load, one replica — the home
+// of a shape under active traffic — is killed mid-load, and every single
+// answer (including every retried one) must be byte-identical to the
+// standalone sequential computation. No request may be lost.
+func TestFailoverDeterminismMidLoad(t *testing.T) {
+	backends, urls := newFleet(t, 3, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: urls})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	g := graph.MargulisExpander(8)
+	eng := walk.NewEngine(g, walk.EngineOptions{Workers: 1})
+	const shapes, seedsPerPhase = 6, 10
+	hasItem := make([][]bool, shapes)
+	for i := range hasItem {
+		hasItem[i] = make([]bool, g.N())
+		hasItem[i][10+i] = true
+	}
+	want := func(shape int, seed uint64) []byte {
+		return wireQuery(netsim.RunWalkQueryEngine(eng, 3, 2, 4096, hasItem[shape], seed))
+	}
+
+	runPhase := func(seedBase uint64) {
+		var wg sync.WaitGroup
+		errs := make(chan string, shapes*seedsPerPhase)
+		for shape := 0; shape < shapes; shape++ {
+			for s := uint64(0); s < seedsPerPhase; s++ {
+				wg.Add(1)
+				go func(shape int, seed uint64) {
+					defer wg.Done()
+					code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(int32(10+shape), seed))
+					if code != http.StatusOK {
+						errs <- fmt.Sprintf("shape %d seed %d: status %d: %s", shape, seed, code, body)
+						return
+					}
+					if exp := want(shape, seed); !bytes.Equal(body, exp) {
+						errs <- fmt.Sprintf("shape %d seed %d: answer %q != standalone %q", shape, seed, body, exp)
+					}
+				}(shape, seedBase+s)
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+
+	runPhase(0)
+
+	// Kill the replica that homes shape 0 — traffic for it continues below.
+	victim := NewRing(urls, 0).Sequence(queryShape(10).Digest(), nil)[0]
+	backends[victim].ts.CloseClientConnections()
+	backends[victim].ts.Close()
+
+	runPhase(seedsPerPhase)
+
+	// One more shape-0 request strictly after the kill: it must fail over
+	// and still answer byte-identically.
+	code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10, 999))
+	if code != http.StatusOK {
+		t.Fatalf("post-kill query status %d: %s", code, body)
+	}
+	if exp := want(0, 999); !bytes.Equal(body, exp) {
+		t.Fatalf("post-kill answer %q != standalone %q", body, exp)
+	}
+
+	st := rt.Stats()
+	if st.Unrouted != 0 {
+		t.Fatalf("lost %d requests", st.Unrouted)
+	}
+	if total := int64(2*shapes*seedsPerPhase + 1); st.Routed != total {
+		t.Fatalf("routed %d, want %d", st.Routed, total)
+	}
+	if st.Failovers < 1 {
+		t.Fatalf("no failovers recorded despite a dead home replica: %+v", st)
+	}
+	if !st.Backends[victim].Healthy {
+		// Passive marking took the victim down; good.
+	} else {
+		t.Fatalf("victim %d still marked healthy: %+v", victim, st.Backends)
+	}
+}
+
+// TestOverloadFailover pins 429 handling: an admission-rejecting replica
+// is retried elsewhere (without being marked unhealthy — backpressure is
+// not death), and the client still gets the exact answer.
+func TestOverloadFailover(t *testing.T) {
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"overloaded"}` + "\n"))
+	}))
+	defer overloaded.Close()
+	real := newBackend(t, "g=margulis:8")
+	urls := []string{overloaded.URL, real.ts.URL}
+	rt := newTestRouter(t, Options{Backends: urls})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	// Find a shape homed on the overloaded replica so the failover path is
+	// actually exercised (ring placement depends on the test server ports).
+	ring := NewRing(urls, 0)
+	target := int32(-1)
+	for c := int32(10); c < 40; c++ {
+		if ring.Sequence(queryShape(c).Digest(), nil)[0] == 0 {
+			target = c
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no shape homed on the overloaded replica in 30 tries")
+	}
+
+	g := graph.MargulisExpander(8)
+	eng := walk.NewEngine(g, walk.EngineOptions{Workers: 1})
+	hasItem := make([]bool, g.N())
+	hasItem[target] = true
+	code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(target, 7))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if exp := wireQuery(netsim.RunWalkQueryEngine(eng, 3, 2, 4096, hasItem, 7)); !bytes.Equal(body, exp) {
+		t.Fatalf("answer %q != standalone %q", body, exp)
+	}
+	st := rt.Stats()
+	if st.Failovers != 1 || st.Unrouted != 0 {
+		t.Fatalf("stats %+v, want exactly one failover", st)
+	}
+	if !st.Backends[0].Healthy {
+		t.Fatal("429 must not mark a replica unhealthy (backpressure is not death)")
+	}
+	if st.Backends[0].Failures != 1 {
+		t.Fatalf("overloaded replica failures %d, want 1", st.Backends[0].Failures)
+	}
+}
+
+// TestShadowVerify pins the sampled second-replica byte comparison: over
+// identical replicas every check passes; against a divergent replica (same
+// graph id, different topology) mismatches surface as counters.
+func TestShadowVerify(t *testing.T) {
+	_, urls := newFleet(t, 2, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: urls, ShadowSample: 1})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	for seed := uint64(0); seed < 8; seed++ {
+		if code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10, seed)); code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, code, body)
+		}
+	}
+	st := rt.Stats()
+	if st.ShadowChecks != 8 || st.ShadowMismatches != 0 {
+		t.Fatalf("identical replicas: %d checks, %d mismatches (want 8, 0)", st.ShadowChecks, st.ShadowMismatches)
+	}
+
+	good := newBackend(t, "g=margulis:8")
+	divergent := newBackend(t, "g=cycle:64") // same id, different graph: answers differ
+	rt2 := newTestRouter(t, Options{Backends: []string{good.ts.URL, divergent.ts.URL}, ShadowSample: 1})
+	front2 := httptest.NewServer(rt2)
+	defer front2.Close()
+	for seed := uint64(0); seed < 8; seed++ {
+		if code, _ := postBody(t, front2.Client(), front2.URL+"/v1/query", queryBody(10, seed)); code != http.StatusOK {
+			t.Fatalf("seed %d rejected", seed)
+		}
+	}
+	st2 := rt2.Stats()
+	if st2.ShadowChecks == 0 || st2.ShadowMismatches == 0 {
+		t.Fatalf("divergent replica undetected: %+v", st2)
+	}
+}
+
+// TestAllBackendsDown pins the exhaustion path: when no replica answers
+// the router reports 502 and counts the request as unrouted.
+func TestAllBackendsDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	rt := newTestRouter(t, Options{Backends: []string{url}})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10, 0))
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if st := rt.Stats(); st.Unrouted != 1 || st.Routed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRouterStatsAndGraphs pins the router's own GET surface: /v1/graphs
+// proxies a replica's listing verbatim and /v1/stats embeds per-backend
+// serve stats.
+func TestRouterStatsAndGraphs(t *testing.T) {
+	_, urls := newFleet(t, 2, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: urls})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	if code, body := postBody(t, front.Client(), front.URL+"/v1/query", queryBody(10, 1)); code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+
+	resp, err := front.Client().Get(front.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []serve.GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&graphs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(graphs) != 1 || graphs[0].ID != "g" || graphs[0].N != 64 {
+		t.Fatalf("graphs via router: %+v", graphs)
+	}
+
+	resp, err = front.Client().Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Policy != "affinity" || st.Routed != 1 || len(st.Backends) != 2 {
+		t.Fatalf("router stats: %+v", st)
+	}
+	served := 0
+	for _, b := range st.Backends {
+		if len(b.Serve) == 0 {
+			t.Fatalf("backend %s missing embedded serve stats", b.URL)
+		}
+		var ss httpapi.StatsResponse
+		if err := json.Unmarshal(b.Serve, &ss); err != nil {
+			t.Fatal(err)
+		}
+		served += int(ss.Requests)
+	}
+	if served != 1 {
+		t.Fatalf("fleet served %d requests total, want 1", served)
+	}
+}
+
+// TestHealthPollerRecovery pins active health checking: a replica marked
+// dead by passive failure detection is restored once /healthz answers.
+func TestHealthPollerRecovery(t *testing.T) {
+	b := newBackend(t, "g=margulis:8")
+	rt := newTestRouter(t, Options{Backends: []string{b.ts.URL}, HealthInterval: 5 * time.Millisecond})
+	rt.backends[0].healthy.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for !rt.backends[0].healthy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("poller never restored a live replica")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -363,6 +363,7 @@ func (s *Server) runBatch(b *bucket) {
 	}
 	s.nPasses.Add(1)
 	s.nLanes.Add(int64(lanes))
+	s.noteShape(b.key, lanes)
 	off := 0
 	var again []*pending
 	for _, r := range a.live {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"manywalks/internal/graph"
 	"manywalks/internal/walk"
@@ -93,6 +94,10 @@ type engineCache struct {
 	mu      sync.Mutex
 	tick    uint64
 	entries map[engineKey]*engineEntry
+	// hits/misses count lookups; a miss is one compilation. Surfaced
+	// through Server.Stats for cluster load reports.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type engineEntry struct {
@@ -114,8 +119,10 @@ func (c *engineCache) get(key engineKey, build func() *walk.Engine) *walk.Engine
 	c.tick++
 	if e := c.entries[key]; e != nil {
 		e.used = c.tick
+		c.hits.Add(1)
 		return e.eng
 	}
+	c.misses.Add(1)
 	eng := build()
 	c.entries[key] = &engineEntry{eng: eng, used: c.tick}
 	for len(c.entries) > c.cap {

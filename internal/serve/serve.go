@@ -76,12 +76,18 @@ const (
 	defaultEngineCache = 8
 )
 
-// Stats counts served traffic.
+// Stats counts served traffic. The JSON tags are the wire form walkd's
+// /v1/stats reports and the cluster router's load report consumes.
 type Stats struct {
-	Requests int64 // requests answered (errors included)
-	Naive    int64 // requests served on the per-request sequential path
-	Passes   int64 // grouped engine passes dispatched
-	Lanes    int64 // lanes folded into grouped passes
+	Requests int64 `json:"requests"` // requests answered (errors included)
+	Naive    int64 `json:"naive"`    // requests served on the per-request sequential path
+	Passes   int64 `json:"passes"`   // grouped engine passes dispatched
+	Lanes    int64 `json:"lanes"`    // lanes folded into grouped passes
+	// EngineHits / EngineMisses count compiled-engine cache lookups: a miss
+	// is one graph × kernel compilation (alias tables, pad tables), so a
+	// warm steady state shows misses frozen while hits grow.
+	EngineHits   int64 `json:"engine_hits"`
+	EngineMisses int64 `json:"engine_misses"`
 }
 
 // Server serves walk queries and estimator requests over registered graphs,
@@ -96,6 +102,9 @@ type Server struct {
 	buckets      map[shapeKey]*bucket
 	pendingLanes int
 	closed       bool
+
+	shapeMu    sync.Mutex
+	shapeStats map[shapeStatKey]*shapeCounter
 
 	stopc   chan struct{}
 	wakec   chan struct{}
@@ -126,13 +135,14 @@ func NewServer(opts Options) *Server {
 		opts.EngineCache = defaultEngineCache
 	}
 	s := &Server{
-		opts:    opts,
-		engines: newEngineCache(opts.EngineCache),
-		graphs:  make(map[string]*graphEntry),
-		buckets: make(map[shapeKey]*bucket),
-		stopc:   make(chan struct{}),
-		wakec:   make(chan struct{}, 1),
-		passSem: make(chan struct{}, maxConcurrentPasses),
+		opts:       opts,
+		engines:    newEngineCache(opts.EngineCache),
+		graphs:     make(map[string]*graphEntry),
+		buckets:    make(map[shapeKey]*bucket),
+		shapeStats: make(map[shapeStatKey]*shapeCounter),
+		stopc:      make(chan struct{}),
+		wakec:      make(chan struct{}, 1),
+		passSem:    make(chan struct{}, maxConcurrentPasses),
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -157,10 +167,12 @@ func (s *Server) Close() {
 // Stats returns a snapshot of the traffic counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests: s.nRequests.Load(),
-		Naive:    s.nNaive.Load(),
-		Passes:   s.nPasses.Load(),
-		Lanes:    s.nLanes.Load(),
+		Requests:     s.nRequests.Load(),
+		Naive:        s.nNaive.Load(),
+		Passes:       s.nPasses.Load(),
+		Lanes:        s.nLanes.Load(),
+		EngineHits:   s.engines.hits.Load(),
+		EngineMisses: s.engines.misses.Load(),
 	}
 }
 

@@ -1,0 +1,189 @@
+package serve
+
+import "sort"
+
+// This file exports the request-shape canonicalization the coalescer keys
+// its buckets on, so layers above the server — the cluster router in
+// particular — can agree with it. The router consistent-hashes each request
+// by RequestShape.Digest onto a replica ring; because the digest is built
+// from the same canonical fields as the internal shapeKey (graph, kernel,
+// observer class, canonical target set), every request that *could*
+// coalesce into one grouped pass carries the same digest and therefore
+// lands on the same replica, where it batches exactly as it would on a
+// single box. Budget fields (k, horizon, precision) are deliberately left
+// out: requests differing only in those can't share a pass, but routing
+// them together costs nothing and keeps each graph × kernel's compiled
+// engine resident on as few replicas as possible.
+
+// ShapeClass is the observer family of a request. Requests only coalesce
+// within a class, so the class is part of the routing digest.
+type ShapeClass uint8
+
+const (
+	// ShapeHit covers walk queries and hitting-time estimates: both run
+	// the grouped hit observer over a target set.
+	ShapeHit ShapeClass = ShapeClass(obsHit)
+	// ShapeCover covers k-walk cover-time estimates.
+	ShapeCover ShapeClass = ShapeClass(obsCover)
+	// ShapeMeet covers k-walk meeting-time estimates.
+	ShapeMeet ShapeClass = ShapeClass(obsMeet)
+)
+
+// String names the class the way ShapeStat reports it.
+func (c ShapeClass) String() string {
+	switch c {
+	case ShapeHit:
+		return "hit"
+	case ShapeCover:
+		return "cover"
+	case ShapeMeet:
+		return "meet"
+	}
+	return "unknown"
+}
+
+// RequestShape is the externally visible coalescing identity of a request:
+// the fields a router must hash to keep same-shape traffic on one replica.
+// Targets may be unsorted and contain duplicates; Digest canonicalizes them
+// exactly as the coalescer's bucket admission does.
+type RequestShape struct {
+	Graph   string
+	Kernel  string // Kernel.String() form; "" means uniform
+	Class   ShapeClass
+	Targets []int32
+}
+
+// Digest folds the shape into the 64-bit routing key: an FNV-1a hash over
+// graph, kernel, class, and the canonical (sorted, deduplicated) target
+// digest. Equal shapes always digest equally; distinct shapes collide only
+// with FNV's astronomical odds, and a collision merely co-locates two
+// shapes on one replica — it can never corrupt an answer, because the
+// backend's bucket admission still compares full canonical target sets.
+func (rs RequestShape) Digest() uint64 {
+	kernel := rs.Kernel
+	if kernel == "" {
+		kernel = "uniform"
+	}
+	h := uint64(1469598103934665603)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(rs.Graph); i++ {
+		mix(rs.Graph[i])
+	}
+	mix(0)
+	for i := 0; i < len(kernel); i++ {
+		mix(kernel[i])
+	}
+	mix(0)
+	mix(byte(rs.Class))
+	td := targetDigest(rs.Targets)
+	for sh := 0; sh < 64; sh += 8 {
+		mix(byte(td >> sh))
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Per-shape traffic counters
+
+// ShapeStat aggregates the grouped passes one request shape has been served
+// with — the observability a cluster load report is built from: Lanes/Passes
+// is the mean batch width the coalescer achieved for that shape.
+type ShapeStat struct {
+	Graph        string  `json:"graph"`
+	Kernel       string  `json:"kernel"`
+	Class        string  `json:"class"`
+	K            int     `json:"k"`
+	Horizon      int64   `json:"horizon"`
+	Passes       int64   `json:"passes"`
+	Lanes        int64   `json:"lanes"`
+	LanesPerPass float64 `json:"lanes_per_pass"`
+}
+
+// shapeStatKey is the aggregation granularity of ShapeStats: the printable
+// shape fields, without the target digest (distinct target sets of one
+// graph × kernel × class × budget report as one row) and without the
+// precision (adaptive waves count with their fixed-count twins).
+type shapeStatKey struct {
+	graph   string
+	kernel  string
+	obs     obsKind
+	k       int
+	horizon int64
+}
+
+type shapeCounter struct {
+	passes int64
+	lanes  int64
+}
+
+// maxShapeStats bounds the tracked shapes of a long-running server; traffic
+// past the cap folds into a single overflow row so the map cannot grow
+// without bound under adversarial budget variation.
+const maxShapeStats = 512
+
+// overflowShapeKey is the catch-all row for traffic past maxShapeStats.
+var overflowShapeKey = shapeStatKey{graph: "(other)"}
+
+// noteShape records one grouped pass of `lanes` lanes under key's shape.
+func (s *Server) noteShape(key shapeKey, lanes int) {
+	k := shapeStatKey{graph: key.graph, kernel: key.kernel, obs: key.obs, k: key.k, horizon: key.horizon}
+	s.shapeMu.Lock()
+	c := s.shapeStats[k]
+	if c == nil {
+		if len(s.shapeStats) >= maxShapeStats {
+			k = overflowShapeKey
+			c = s.shapeStats[k]
+		}
+		if c == nil {
+			c = &shapeCounter{}
+			s.shapeStats[k] = c
+		}
+	}
+	c.passes++
+	c.lanes += int64(lanes)
+	s.shapeMu.Unlock()
+}
+
+// ShapeStats snapshots the per-shape pass and lane counters, widest shapes
+// (most lanes) first.
+func (s *Server) ShapeStats() []ShapeStat {
+	s.shapeMu.Lock()
+	out := make([]ShapeStat, 0, len(s.shapeStats))
+	for k, c := range s.shapeStats {
+		st := ShapeStat{
+			Graph: k.graph, Kernel: k.kernel, Class: ShapeClass(k.obs).String(),
+			K: k.k, Horizon: k.horizon, Passes: c.passes, Lanes: c.lanes,
+		}
+		if c.passes > 0 {
+			st.LanesPerPass = float64(c.lanes) / float64(c.passes)
+		}
+		out = append(out, st)
+	}
+	s.shapeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return shapeStatLess(out[i], out[j]) })
+	return out
+}
+
+// shapeStatLess orders shape rows widest-first, with a stable lexical
+// tiebreak so snapshots are deterministic.
+func shapeStatLess(a, b ShapeStat) bool {
+	if a.Lanes != b.Lanes {
+		return a.Lanes > b.Lanes
+	}
+	if a.Graph != b.Graph {
+		return a.Graph < b.Graph
+	}
+	if a.Kernel != b.Kernel {
+		return a.Kernel < b.Kernel
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	return a.Horizon < b.Horizon
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"manywalks/internal/graph"
+	"manywalks/internal/walk"
+)
+
+// TestRequestShapeDigestCanonical pins the routing digest's canonicalization:
+// target order and duplicates never change it, every shape field does, and
+// the empty kernel means uniform.
+func TestRequestShapeDigestCanonical(t *testing.T) {
+	base := RequestShape{Graph: "g", Kernel: "uniform", Class: ShapeHit, Targets: []int32{7, 3, 3, 11}}
+	same := []RequestShape{
+		{Graph: "g", Kernel: "uniform", Class: ShapeHit, Targets: []int32{3, 7, 11}},
+		{Graph: "g", Kernel: "uniform", Class: ShapeHit, Targets: []int32{11, 11, 7, 3}},
+		{Graph: "g", Kernel: "", Class: ShapeHit, Targets: []int32{3, 7, 11}},
+	}
+	for i, rs := range same {
+		if rs.Digest() != base.Digest() {
+			t.Fatalf("shape %d: digest %x != base %x", i, rs.Digest(), base.Digest())
+		}
+	}
+	diff := []RequestShape{
+		{Graph: "h", Kernel: "uniform", Class: ShapeHit, Targets: []int32{3, 7, 11}},
+		{Graph: "g", Kernel: "lazy:0.5", Class: ShapeHit, Targets: []int32{3, 7, 11}},
+		{Graph: "g", Kernel: "uniform", Class: ShapeCover, Targets: []int32{3, 7, 11}},
+		{Graph: "g", Kernel: "uniform", Class: ShapeHit, Targets: []int32{3, 7}},
+		{Graph: "g", Kernel: "uniform", Class: ShapeHit},
+	}
+	for i, rs := range diff {
+		if rs.Digest() == base.Digest() {
+			t.Fatalf("shape %d: digest collides with base", i)
+		}
+	}
+	// The digest must agree with the coalescer's target canonicalization:
+	// shapes whose canonical target sets are equal share a digest even when
+	// the raw slices differ arbitrarily.
+	if targetDigest([]int32{5, 5, 2}) != targetDigest([]int32{2, 5}) {
+		t.Fatal("targetDigest not canonical under sort+dedup")
+	}
+}
+
+// TestShapeClassNames pins the class names ShapeStat rows report.
+func TestShapeClassNames(t *testing.T) {
+	for _, tc := range []struct {
+		c    ShapeClass
+		want string
+	}{{ShapeHit, "hit"}, {ShapeCover, "cover"}, {ShapeMeet, "meet"}, {ShapeClass(9), "unknown"}} {
+		if got := tc.c.String(); got != tc.want {
+			t.Fatalf("class %d: %q != %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestStatsCounters drives a few coalesced requests and checks the new
+// observability: engine-cache hit/miss counters and per-shape pass/lane
+// rows.
+func TestStatsCounters(t *testing.T) {
+	s := NewServer(Options{Tick: 100 * time.Microsecond})
+	defer s.Close()
+	g := graph.MargulisExpander(8)
+	if err := s.RegisterGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		if _, err := s.CoverTime(context.Background(), CoverTimeRequest{
+			Graph: "g", Kernel: walk.Uniform(), Start: 1, K: 4, Trials: 8, Seed: seed, MaxSteps: 1 << 16,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.WalkQuery(context.Background(), WalkQueryRequest{
+		Graph: "g", Kernel: walk.Uniform(), Origin: 0, K: 2, TTL: 4096, Targets: []int32{40}, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.EngineMisses != 1 {
+		t.Fatalf("engine misses %d, want 1 (one graph x kernel compiled)", st.EngineMisses)
+	}
+	if st.EngineHits < 2 {
+		t.Fatalf("engine hits %d, want >= 2", st.EngineHits)
+	}
+	shapes := s.ShapeStats()
+	if len(shapes) != 2 {
+		t.Fatalf("shape rows %d, want 2 (cover + query): %+v", len(shapes), shapes)
+	}
+	var coverRow, hitRow *ShapeStat
+	for i := range shapes {
+		switch shapes[i].Class {
+		case "cover":
+			coverRow = &shapes[i]
+		case "hit":
+			hitRow = &shapes[i]
+		}
+	}
+	if coverRow == nil || hitRow == nil {
+		t.Fatalf("missing class rows: %+v", shapes)
+	}
+	if coverRow.Lanes != 24 || coverRow.Passes < 1 || coverRow.K != 4 {
+		t.Fatalf("cover row %+v, want 24 lanes over >=1 passes at k=4", *coverRow)
+	}
+	if coverRow.LanesPerPass != float64(coverRow.Lanes)/float64(coverRow.Passes) {
+		t.Fatalf("cover row lanes/pass %v inconsistent", *coverRow)
+	}
+	if hitRow.Lanes != 1 || hitRow.K != 2 || hitRow.Graph != "g" || hitRow.Kernel != "uniform" {
+		t.Fatalf("hit row %+v", *hitRow)
+	}
+}
+
+// TestShapeStatsOverflow pins the cap: shapes past maxShapeStats fold into
+// the single "(other)" row instead of growing the map without bound.
+func TestShapeStatsOverflow(t *testing.T) {
+	s := NewServer(Options{Tick: 50 * time.Microsecond})
+	defer s.Close()
+	g := graph.Cycle(32)
+	if err := s.RegisterGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct horizons are distinct shapes; push past the cap.
+	for i := 0; i < maxShapeStats+8; i++ {
+		if _, err := s.CoverTime(context.Background(), CoverTimeRequest{
+			Graph: "g", Kernel: walk.Uniform(), Start: 0, K: 1, Trials: 1,
+			Seed: uint64(i), MaxSteps: int64(1<<14 + i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shapes := s.ShapeStats()
+	if len(shapes) > maxShapeStats+1 {
+		t.Fatalf("shape rows %d exceed cap %d (+1 overflow row)", len(shapes), maxShapeStats)
+	}
+	var other *ShapeStat
+	var lanes int64
+	for i := range shapes {
+		lanes += shapes[i].Lanes
+		if shapes[i].Graph == "(other)" {
+			other = &shapes[i]
+		}
+	}
+	if other == nil || other.Lanes < 8 {
+		t.Fatalf("overflow row missing or too small: %+v", other)
+	}
+	if lanes != maxShapeStats+8 {
+		t.Fatalf("total lanes %d, want %d (no pass lost to the cap)", lanes, maxShapeStats+8)
+	}
+}
