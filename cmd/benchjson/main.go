@@ -18,7 +18,10 @@
 // the shape-affinity router onto 1 or 3 walkd-shaped replicas, affinity vs
 // round-robin — whose trials/sec is cluster-served queries/sec. Replica
 // scaling (r1 vs r3) needs a multi-core box to show; the affinity vs
-// round-robin gap is a batching effect and shows on any box.
+// round-robin gap is a batching effect and shows on any box. Since
+// BENCH_PR10 the set adds a KCoverKernels row — the same k=64 cover
+// workload stepped through a registry-compiled dense hopper row bank —
+// tracking the compiled-dispatch path next to the uniform fast-path rows.
 //
 // -compare diffs the run against an earlier committed snapshot, printing
 // the per-row ns/op delta and exiting nonzero if any row regressed past
@@ -103,6 +106,7 @@ func workerSuffix(w int) string {
 func pinned() []pinnedBench {
 	expander := graph.MargulisExpander(24)
 	expander4096 := graph.MargulisExpander(64)
+	cycle1024 := graph.Cycle(1024)
 	rows := []pinnedBench{
 		{"KCoverEngineSeq/expander576", 0, 0, nil, func(b *testing.B) {
 			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1})
@@ -116,6 +120,40 @@ func pinned() []pinnedBench {
 			eng := walk.NewEngine(expander4096, walk.EngineOptions{Workers: 1})
 			for i := 0; i < b.N; i++ {
 				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
+					b.Fatal("not covered")
+				}
+			}
+		}},
+		// Registry-compiled kernel row (new in PR 10): the same k=64 cover
+		// workload stepped through the dense hopper row bank instead of the
+		// uniform fast path — the compiled-dispatch cost the open kernel
+		// registry is gated on (the KCoverEngineSeq rows above must stay
+		// flat, this row tracks the alias-bank ceiling).
+		{"KCoverKernels/expander576_hopper_power1", 0, 0, nil, func(b *testing.B) {
+			eng := walk.NewEngine(expander, walk.EngineOptions{Workers: 1, Kernel: walk.HopperPower(1)})
+			for i := 0; i < b.N; i++ {
+				if !eng.KCoverFrom(0, 64, uint64(i), 1<<40).Covered {
+					b.Fatal("not covered")
+				}
+			}
+		}},
+		// Hopper headline pair (the E-hopper acceptance shape in snapshot
+		// form): single-walker cover of cycle(1024) under the uniform walk
+		// (Θ(n²) rounds) vs the power-law multi-hopper (~n·ln n rounds).
+		// The ns/op ratio records the >=5x cover saving the hopper kernels
+		// are gated on.
+		{"KCoverKernels/cycle1024_uniform_k1", 0, 0, nil, func(b *testing.B) {
+			eng := walk.NewEngine(cycle1024, walk.EngineOptions{Workers: 1})
+			for i := 0; i < b.N; i++ {
+				if !eng.KCoverFrom(0, 1, uint64(i), 1<<40).Covered {
+					b.Fatal("not covered")
+				}
+			}
+		}},
+		{"KCoverKernels/cycle1024_hopper_power1_k1", 0, 0, nil, func(b *testing.B) {
+			eng := walk.NewEngine(cycle1024, walk.EngineOptions{Workers: 1, Kernel: walk.HopperPower(1)})
+			for i := 0; i < b.N; i++ {
+				if !eng.KCoverFrom(0, 1, uint64(i), 1<<40).Covered {
 					b.Fatal("not covered")
 				}
 			}
@@ -447,7 +485,7 @@ func compareRows(oldRows, newRows []row, threshold float64) compareReport {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output path for the JSON rows")
+	out := flag.String("o", "BENCH_PR10.json", "output path for the JSON rows")
 	count := flag.Int("count", 3, "runs per benchmark; the best (min ns/op) is recorded")
 	match := flag.String("bench", "", "run only benchmarks whose name matches this regexp (CI smoke)")
 	compare := flag.String("compare", "", "earlier snapshot JSON to diff against; regressions past -threshold exit nonzero")

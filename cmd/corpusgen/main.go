@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"manywalks/internal/graph"
+	"manywalks/internal/kernelflag"
 	"manywalks/internal/walk"
 )
 
@@ -73,7 +74,7 @@ func run(args []string, report, corpusOut io.Writer) error {
 	spec := fs.String("graph", "margulis:32", "generator spec when no input file is given")
 	walks := fs.Int("walks", 10, "walks started from every vertex")
 	length := fs.Int("length", 80, "steps per walk (a walk records length+1 vertices)")
-	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	kernelFlag := fs.String("kernel", "uniform", kernelflag.Usage())
 	workers := fs.Int("workers", 0, "workers per grouped pass (0 = all CPUs)")
 	seed := fs.Uint64("seed", 1, "corpus seed; walk t draws from stream t of this seed")
 	formatFlag := fs.String("format", "text", "corpus encoding: text or binary")
@@ -89,8 +90,11 @@ func run(args []string, report, corpusOut io.Writer) error {
 	if err != nil {
 		return usage(err)
 	}
-	kernel, err := walk.ParseKernel(*kernelFlag)
+	kernel, err := kernelflag.Resolve(*kernelFlag, report)
 	if err != nil {
+		if errors.Is(err, kernelflag.ErrHelp) {
+			return nil
+		}
 		return usage(err)
 	}
 	g, err := loadGraph(*input, *spec)

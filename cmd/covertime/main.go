@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"manywalks"
+	"manywalks/internal/kernelflag"
 )
 
 // errUsage marks bad invocations (flags, graph/kernel spellings), which
@@ -33,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	kind := fs.String("graph", "torus2d", "graph family (see cmd/speedup for the list)")
 	n := fs.Int("n", 256, "approximate vertex count")
 	k := fs.Int("k", 4, "number of parallel walks")
-	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	kernelFlag := fs.String("kernel", "uniform", kernelflag.Usage())
 	trials := fs.Int("trials", 400, "Monte Carlo trials")
 	seed := fs.Uint64("seed", 20080614, "root RNG seed")
 	workers := fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
@@ -44,8 +45,11 @@ func run(args []string, out io.Writer) error {
 		return usage(err)
 	}
 
-	kernel, err := manywalks.ParseKernel(*kernelFlag)
+	kernel, err := kernelflag.Resolve(*kernelFlag, out)
 	if err != nil {
+		if errors.Is(err, kernelflag.ErrHelp) {
+			return nil
+		}
 		return usage(err)
 	}
 	r := manywalks.NewRand(*seed)

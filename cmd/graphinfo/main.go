@@ -20,6 +20,7 @@ import (
 	"slices"
 
 	"manywalks"
+	"manywalks/internal/kernelflag"
 )
 
 var errUsage = errors.New("usage error")
@@ -129,6 +130,28 @@ func printMemoryAndDegrees(out io.Writer, g *manywalks.Graph) {
 	}
 }
 
+// printKernelPlan reports what compiling kern on g would build — the
+// capacity check to run before pointing a walkd fleet at a dense kernel. A
+// rejected compile (e.g. a row bank over the memory cap) is itself the
+// answer, so it prints rather than failing the command.
+func printKernelPlan(out io.Writer, g *manywalks.Graph, kern manywalks.Kernel) {
+	plan, err := manywalks.PlanKernelTable(g, kern)
+	if err != nil {
+		fmt.Fprintf(out, "kernel plan   %s: compile rejected: %v\n", kern, err)
+		return
+	}
+	switch {
+	case plan.Rows == 0:
+		fmt.Fprintf(out, "kernel plan   %s: table-free fast path (no alias table compiled)\n", plan.Kernel)
+	case plan.Dense:
+		fmt.Fprintf(out, "kernel plan   %s: dense row bank, %d rows x %d columns = %s (cap %s)\n",
+			plan.Kernel, plan.Rows, plan.Columns, fmtBytes(plan.Bytes), fmtBytes(plan.Cap))
+	default:
+		fmt.Fprintf(out, "kernel plan   %s: sparse alias table, %d rows, %d columns = %s\n",
+			plan.Kernel, plan.Rows, plan.Columns, fmtBytes(plan.Bytes))
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -136,6 +159,7 @@ func run(args []string, out io.Writer) error {
 	kind := fs.String("graph", "torus2d", "graph family or kind:params spec")
 	n := fs.Int("n", 256, "approximate vertex count (family flags only)")
 	seed := fs.Uint64("seed", 20080614, "RNG seed")
+	kernelSpec := fs.String("kernel", "", "also plan this kernel's compiled tables on the graph (\"help\" lists kernels)")
 	export := fs.String("export", "", "export format: edgelist, binary, or dot")
 	outPath := fs.String("o", "", "export destination (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -184,6 +208,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "vertices      %d\n", g.N())
 	fmt.Fprintf(out, "edges         %d (self-loops %d)\n", g.M(), g.SelfLoops())
 	printMemoryAndDegrees(out, g)
+	if *kernelSpec != "" {
+		kern, err := kernelflag.Resolve(*kernelSpec, out)
+		if err != nil {
+			if errors.Is(err, kernelflag.ErrHelp) {
+				return nil
+			}
+			return usage(err)
+		}
+		printKernelPlan(out, g, kern)
+	}
 	fmt.Fprintf(out, "connected     %v\n", g.IsConnected())
 	fmt.Fprintf(out, "bipartite     %v\n", g.IsBipartite())
 	if g.N() <= 4096 && g.IsConnected() {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"manywalks"
+	"manywalks/internal/kernelflag"
 )
 
 // errUsage marks bad invocations (flags, graph/kernel spellings), which
@@ -102,7 +103,7 @@ func run(args []string, out io.Writer) error {
 	kind := fs.String("graph", "cycle", "graph family")
 	n := fs.Int("n", 256, "approximate vertex count")
 	kmax := fs.Int("kmax", 64, "largest k in the doubling sweep")
-	kernelFlag := fs.String("kernel", "uniform", "walk kernel: uniform, lazy[:α], weighted, nobacktrack, metropolis")
+	kernelFlag := fs.String("kernel", "uniform", kernelflag.Usage())
 	trials := fs.Int("trials", 300, "Monte Carlo trials per estimate")
 	seed := fs.Uint64("seed", 20080614, "root RNG seed")
 	startFlag := fs.Int("start", -1, "start vertex (-1 = family default)")
@@ -114,8 +115,11 @@ func run(args []string, out io.Writer) error {
 		return usage(err)
 	}
 
-	kernel, err := manywalks.ParseKernel(*kernelFlag)
+	kernel, err := kernelflag.Resolve(*kernelFlag, out)
 	if err != nil {
+		if errors.Is(err, kernelflag.ErrHelp) {
+			return nil
+		}
 		return usage(err)
 	}
 	r := manywalks.NewRand(*seed)

@@ -11,6 +11,7 @@
 //
 //	walkd [-addr :8371] [-graphs id=spec,...] [-tick 200us] [-deadline 30s]
 //	      [-max-batch 4096] [-max-pending 65536] [-cache 8] [-naive]
+//	      [-warm kernel,...]
 //
 // Endpoints: see internal/httpapi. /v1/stats reports the served-traffic
 // counters, the engine-cache hit/miss counters, and per-shape pass/lane
@@ -32,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"manywalks/internal/httpapi"
+	"manywalks/internal/kernelflag"
 	"manywalks/internal/serve"
 )
 
@@ -59,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	cache := fs.Int("cache", 8, "compiled-engine cache size (graph × kernel, LRU)")
 	workers := fs.Int("workers", 0, "workers per grouped pass (0 = engine default)")
 	naive := fs.Bool("naive", false, "disable coalescing: serve each request with its own engine run")
+	warm := fs.String("warm", "", "pre-compile engines at startup: comma-separated kernels, each warmed on every registered graph (\"help\" lists kernels)")
 	drainWait := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight HTTP requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +82,31 @@ func run(args []string, out io.Writer) error {
 		return usage(err)
 	}
 	defer srv.Close() // final coalescer drain after the HTTP server stops
+
+	// Warm listed kernels on every graph before accepting traffic, so the
+	// first request of each shape pays no compile. A kernel a graph rejects
+	// (e.g. a dense hopper bank over the memory cap) is reported and
+	// skipped — the other graphs still warm.
+	for _, spec := range strings.Split(*warm, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		kern, err := kernelflag.Resolve(spec, out)
+		if err != nil {
+			if errors.Is(err, kernelflag.ErrHelp) {
+				return nil
+			}
+			return usage(err)
+		}
+		for _, gi := range srv.Graphs() {
+			if err := srv.Warm(gi.ID, kern); err != nil {
+				fmt.Fprintf(out, "walkd: warm %s on %s skipped: %v\n", kern, gi.ID, err)
+				continue
+			}
+			fmt.Fprintf(out, "walkd: warmed %s on %s\n", kern, gi.ID)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

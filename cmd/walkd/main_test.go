@@ -318,3 +318,46 @@ func TestDaemonStatsEndpoint(t *testing.T) {
 		t.Fatalf("shape rows %+v", st.Shapes)
 	}
 }
+
+// TestDaemonStatsCanonicalKernel pins the per-shape stats spelling: a
+// request carrying a shorthand kernel string ("hopper:power") must report
+// under the canonical registry spelling ("hopper:power:1"), never the raw
+// request text — the spelling the cluster router keys its ring on.
+func TestDaemonStatsCanonicalKernel(t *testing.T) {
+	ts := newTestDaemon(t)
+	var est httpapi.EstimateResponse
+	code := postJSON(t, ts.URL+"/v1/cover", map[string]any{
+		"graph": "cycle32", "kernel": "hopper:power", "start": 0, "k": 4,
+		"trials": 6, "seed": 3, "max_steps": 1 << 16,
+	}, &est)
+	if code != http.StatusOK {
+		t.Fatalf("hopper cover status %d", code)
+	}
+	kern, err := walk.ParseKernel("hopper:power:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := walk.EstimateKernelKCoverTime(graph.Cycle(32), kern, 0, 4,
+		walk.MCOptions{Trials: 6, Workers: 1, Seed: 3, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != want.Summary.Mean || est.Trials != 6 {
+		t.Fatalf("served hopper cover %+v != standalone %+v", est, want)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st httpapi.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shapes) != 1 {
+		t.Fatalf("shape rows %+v", st.Shapes)
+	}
+	if got := st.Shapes[0].Kernel; got != "hopper:power:1" {
+		t.Fatalf("stats report kernel %q, want canonical %q", got, "hopper:power:1")
+	}
+}

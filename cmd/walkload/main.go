@@ -53,6 +53,7 @@ import (
 	"manywalks/internal/cluster"
 	"manywalks/internal/graph"
 	"manywalks/internal/httpapi"
+	"manywalks/internal/kernelflag"
 	"manywalks/internal/netsim"
 	"manywalks/internal/serve"
 	"manywalks/internal/stats"
@@ -466,7 +467,7 @@ func run(args []string, out io.Writer) error {
 	targetsFlag := fs.String("targets", "300", "target vertices, comma-separated")
 	origin := fs.Int("origin", 0, "query origin vertex")
 	seed := fs.Uint64("seed", 1, "base seed; query i uses seed+i")
-	kernelFlag := fs.String("kernel", "uniform", "walk kernel")
+	kernelFlag := fs.String("kernel", "uniform", kernelflag.Usage())
 	mode := fs.String("mode", "both", "naive, coalesced, both (both verifies bit-for-bit equality), adaptive (time-to-tolerance), or cluster (HTTP fleet through the shape-affinity router)")
 	tick := fs.Duration("tick", 200*time.Microsecond, "coalescer gather window")
 	workers := fs.Int("workers", 1, "workers per grouped pass (0 = engine default)")
@@ -492,8 +493,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return usage(err)
 	}
-	kernel, err := walk.ParseKernel(*kernelFlag)
+	kernel, err := kernelflag.Resolve(*kernelFlag, out)
 	if err != nil {
+		if errors.Is(err, kernelflag.ErrHelp) {
+			return nil
+		}
 		return usage(err)
 	}
 	targets, err := parseTargets(*targetsFlag)

@@ -82,13 +82,21 @@
 // Estimate reports Waves and Converged; the zero Precision keeps the
 // fixed-count path unchanged.
 //
-// The step law is pluggable: EngineOptions.Kernel selects among the
-// uniform walk (the default), the lazy walk LazyKernel(α), edge-weight-
-// proportional steps (WeightedKernel, on graphs built with
-// GraphBuilder.AddWeightedEdge or Reweight), non-backtracking steps, and
-// the Metropolis chain with uniform target. The engine compiles the kernel
-// into per-vertex sampling tables at construction; every kernel keeps the
-// bit-for-bit determinism guarantee, and the Kernel* estimators
+// The step law is an open interface: Kernel values name a transition law
+// (Name/String/Validate/TransitionProbs/Support) and EngineOptions.Kernel
+// accepts any of them — nil means the uniform walk. Built-ins cover the
+// lazy walk LazyKernel(α), edge-weight-proportional steps (WeightedKernel,
+// on graphs built with GraphBuilder.AddWeightedEdge or Reweight),
+// non-backtracking steps, the Metropolis chain with uniform target, and
+// the long-range multi-hoppers HopperPowerKernel(s) / HopperExpKernel(λ)
+// that jump by BFS distance. New families register with RegisterKernel and
+// parse through ParseKernel (KernelHelp lists the registry; every
+// Kernel.String() re-parses to an equal kernel, so caches and cluster
+// routing key on the canonical spelling). The engine compiles the kernel
+// at construction — sparse-support laws into CSR-shaped alias tables,
+// dense-support laws into a capped row bank whose footprint
+// PlanKernelTable reports before any memory is committed; every kernel
+// keeps the bit-for-bit determinism guarantee, and the Kernel* estimators
 // (KernelCoverTime, KernelKCoverTime, KernelHittingTime, KernelSpeedup)
 // expose the same Monte Carlo machinery per kernel, cross-validated
 // against the exact chain path (NewMarkovChainForKernel,

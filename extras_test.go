@@ -3,6 +3,7 @@ package manywalks_test
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"manywalks"
@@ -201,8 +202,21 @@ func TestFacadeKernels(t *testing.T) {
 	if err != nil || p.Speedup <= 1 {
 		t.Fatalf("no-backtrack speedup point %+v, %v", p, err)
 	}
-	if len(manywalks.AllKernels()) != 5 {
-		t.Fatal("AllKernels must list the five step laws")
+	if len(manywalks.AllKernels()) != 6 {
+		t.Fatal("AllKernels must list the six registered step laws")
+	}
+	hk, err := manywalks.ParseKernel("hopper:power")
+	if err != nil || hk != manywalks.HopperPowerKernel(1) {
+		t.Fatalf("ParseKernel hopper: %v, %v", hk, err)
+	}
+	if got := manywalks.HopperExpKernel(0.5).String(); got != "hopper:exp:0.5" {
+		t.Fatalf("hopper spelling %q", got)
+	}
+	if len(manywalks.KernelFamilies()) != len(manywalks.AllKernels()) {
+		t.Fatal("KernelFamilies and AllKernels must agree on the registry size")
+	}
+	if help := manywalks.KernelHelp(); !strings.Contains(help, "hopper:law[:param]") {
+		t.Fatalf("KernelHelp missing hopper syntax:\n%s", help)
 	}
 }
 

@@ -445,3 +445,70 @@ func TestHealthPollerRecovery(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestHopperShapeRoutesAndMatchesStandalone pins the registry-kernel path
+// through the cluster: a hopper request routes on its canonical spelling
+// (so "hopper:power" and "hopper:power:1" share one ring home), the routed
+// cover estimate is byte-identical to a standalone replica's answer and to
+// the sequential library estimator, and the answer survives killing the
+// shape's home replica bit for bit.
+func TestHopperShapeRoutesAndMatchesStandalone(t *testing.T) {
+	backends, urls := newFleet(t, 3, "g=cycle:64")
+	rt := newTestRouter(t, Options{Backends: urls})
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	short := serve.RequestShape{Graph: "g", Kernel: canonicalKernel("hopper:power"), Class: serve.ShapeCover}
+	full := serve.RequestShape{Graph: "g", Kernel: "hopper:power:1", Class: serve.ShapeCover}
+	if short.Digest() != full.Digest() {
+		t.Fatalf("%q and %q digest apart: canonicalization broken", "hopper:power", "hopper:power:1")
+	}
+
+	body := map[string]any{
+		"graph": "g", "kernel": "hopper:power", "start": 0, "k": 4,
+		"trials": 8, "seed": 11, "max_steps": 1 << 16,
+	}
+	ref := newBackend(t, "g=cycle:64") // standalone replica outside the fleet
+	refCode, want := postBody(t, ref.ts.Client(), ref.ts.URL+"/v1/cover", body)
+	if refCode != http.StatusOK {
+		t.Fatalf("reference status %d: %s", refCode, want)
+	}
+	kern, err := walk.ParseKernel("hopper:power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := walk.EstimateKernelKCoverTime(graph.Cycle(64), kern, 0, 4,
+		walk.MCOptions{Trials: 8, Workers: 1, Seed: 11, MaxSteps: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refEst httpapi.EstimateResponse
+	if err := json.Unmarshal(want, &refEst); err != nil {
+		t.Fatal(err)
+	}
+	if refEst.Mean != est.Mean() {
+		t.Fatalf("replica mean %v != sequential estimator %v", refEst.Mean, est.Mean())
+	}
+
+	code, got := postBody(t, front.Client(), front.URL+"/v1/cover", body)
+	if code != http.StatusOK {
+		t.Fatalf("routed status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("routed answer %q != standalone %q", got, want)
+	}
+
+	victim := NewRing(urls, 0).Sequence(full.Digest(), nil)[0]
+	backends[victim].ts.CloseClientConnections()
+	backends[victim].ts.Close()
+	code, got = postBody(t, front.Client(), front.URL+"/v1/cover", body)
+	if code != http.StatusOK {
+		t.Fatalf("post-kill status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-kill answer %q != standalone %q", got, want)
+	}
+	if st := rt.Stats(); st.Unrouted != 0 || st.Failovers < 1 {
+		t.Fatalf("failover accounting %+v", st)
+	}
+}

@@ -697,6 +697,7 @@ func Experiments() []Experiment {
 		{"E-kernels", RunKernelSpeedupSweep},
 		{"E-collab", RunCollaborationSweep},
 		{"E-adaptive", RunAdaptiveStopping},
+		{"E-hopper", RunHopperKernels},
 	}
 }
 

@@ -57,7 +57,7 @@ func RunKernelSpeedupSweep(cfg Config) (*Report, error) {
 	const k = 16
 	rep := &Report{
 		ID:    "E-kernels",
-		Title: fmt.Sprintf("Kernel sweep — S^%d under uniform/lazy/weighted/no-backtrack/Metropolis step laws", k),
+		Title: fmt.Sprintf("Kernel sweep — S^%d under every registered step law (uniform/lazy/weighted/no-backtrack/Metropolis/hopper)", k),
 		Columns: []string{
 			"graph", "kernel", "C", fmt.Sprintf("C^%d", k), fmt.Sprintf("S^%d", k), "S/k",
 		},
@@ -96,16 +96,16 @@ func RunKernelSpeedupSweep(cfg Config) (*Report, error) {
 				rep.Notes = append(rep.Notes, fmt.Sprintf(
 					"%s/%s: S^%d = %.2f, parallel walkers did not help", tc.g.Name(), kern, k, p.Speedup))
 			}
-			switch kern.Kind {
-			case walk.KernelUniform:
+			switch kern.Name() {
+			case "uniform":
 				uniformC = p.Single.Mean()
-			case walk.KernelLazy:
+			case "lazy":
 				if ratio := p.Single.Mean() / uniformC; ratio < 1.4 || ratio > 2.8 {
 					rep.Pass = false
 					rep.Notes = append(rep.Notes, fmt.Sprintf(
 						"%s: lazy/uniform cover ratio %.2f outside ≈2 band", tc.g.Name(), ratio))
 				}
-			case walk.KernelNoBacktrack:
+			case "nobacktrack":
 				if n == size(cfg, 64, 128) && tc.g.Degree(0) == 2 { // the cycle row
 					if math.Abs(p.Single.Mean()-float64(n-1)) > 1e-9 {
 						rep.Pass = false

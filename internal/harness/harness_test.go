@@ -234,8 +234,8 @@ func TestAllExperimentsProduceDistinctIDs(t *testing.T) {
 			t.Fatalf("registry id %s != report id %s", registry[i].ID, r.ID)
 		}
 	}
-	if len(reports) != 26 {
-		t.Fatalf("expected 26 experiments, got %d", len(reports))
+	if len(reports) != 27 {
+		t.Fatalf("expected 27 experiments, got %d", len(reports))
 	}
 }
 

@@ -1,0 +1,14 @@
+package harness
+
+import "testing"
+
+func TestHopperKernelsQuickSmoke(t *testing.T) {
+	rep, err := RunHopperKernels(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Render())
+	if !rep.Pass {
+		t.Fatal("hopper experiment failed")
+	}
+}

@@ -1,0 +1,39 @@
+// Package kernelflag centralizes the CLIs' -kernel flag handling: one
+// usage string derived from the kernel registry and one resolver that
+// treats "help"/"list" as a request to print the registry listing. Every
+// kernel-taking command routes its flag through Resolve, so a family added
+// with walk.RegisterKernel shows up in each command's -h text and -kernel
+// help output with no per-command wiring.
+package kernelflag
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"manywalks/internal/walk"
+)
+
+// Usage is the -kernel flag description shared by every kernel-taking CLI,
+// naming each registered family's syntax.
+func Usage() string {
+	return fmt.Sprintf("walk kernel: %s (\"help\" lists all)",
+		strings.Join(walk.KernelSyntaxes(), ", "))
+}
+
+// ErrHelp reports that Resolve printed the registry listing instead of
+// parsing a kernel. Commands treat it like flag.ErrHelp: print nothing
+// more and exit 0.
+var ErrHelp = errors.New("kernel help printed")
+
+// Resolve parses a -kernel flag value through the registry. The values
+// "help" and "list" print walk.KernelHelp() to w and return ErrHelp.
+func Resolve(s string, w io.Writer) (walk.Kernel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "help", "list":
+		fmt.Fprint(w, walk.KernelHelp())
+		return nil, ErrHelp
+	}
+	return walk.ParseKernel(s)
+}

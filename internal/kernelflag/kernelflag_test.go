@@ -1,0 +1,43 @@
+package kernelflag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"manywalks/internal/walk"
+)
+
+func TestResolveParsesRegistrySyntax(t *testing.T) {
+	k, err := Resolve("hopper:power:2", nil)
+	if err != nil || k.String() != "hopper:power:2" {
+		t.Fatalf("Resolve: %v, %v", k, err)
+	}
+	if _, err := Resolve("teleport", nil); err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("unknown kernel error %v", err)
+	}
+}
+
+func TestResolveHelpPrintsRegistry(t *testing.T) {
+	for _, s := range []string{"help", "list", " HELP "} {
+		var out strings.Builder
+		k, err := Resolve(s, &out)
+		if !errors.Is(err, ErrHelp) || k != nil {
+			t.Fatalf("Resolve(%q) = %v, %v", s, k, err)
+		}
+		for _, f := range walk.KernelFamilies() {
+			if !strings.Contains(out.String(), f.Syntax) {
+				t.Fatalf("help output missing %q:\n%s", f.Syntax, out.String())
+			}
+		}
+	}
+}
+
+func TestUsageNamesEveryFamily(t *testing.T) {
+	u := Usage()
+	for _, syntax := range walk.KernelSyntaxes() {
+		if !strings.Contains(u, syntax) {
+			t.Fatalf("usage %q missing %q", u, syntax)
+		}
+	}
+}

@@ -55,6 +55,7 @@ func FromWalk(g *graph.Graph, stay float64) *Chain {
 // For Uniform and Lazy the result agrees with FromWalk(g, stay) up to the
 // row order of floating-point accumulation; markov_test pins that.
 func ChainForKernel(g *graph.Graph, k walk.Kernel) (*Chain, error) {
+	k = walk.KernelOrUniform(k)
 	n := g.N()
 	p := linalg.NewMatrix(n, n)
 	for v := 0; v < n; v++ {

@@ -11,7 +11,7 @@ import (
 // queryBucket hand-builds the bucket a batch of walk queries would reach
 // the dispatcher as, mirroring WalkQuery's pending/shapeKey construction.
 func queryBucket(graphID string, n int, targets []int32, k, ttl int, seeds []uint64) *bucket {
-	var kern walk.Kernel
+	kern := walk.KernelOrUniform(nil)
 	key := shapeKey{
 		graph:   graphID,
 		kernel:  kern.String(),

@@ -150,8 +150,24 @@ func (c *engineCache) len() int {
 // The kernel must already be validated against the graph (NewEngine panics
 // on an invalid kernel, by contract).
 func (s *Server) engineFor(ge *graphEntry, kernel walk.Kernel) *walk.Engine {
+	kernel = walk.KernelOrUniform(kernel)
 	key := engineKey{graph: ge.id, kernel: kernel.String()}
 	return s.engines.get(key, func() *walk.Engine {
 		return walk.NewEngine(ge.g, walk.EngineOptions{Workers: s.opts.Workers, Kernel: kernel})
 	})
+}
+
+// Warm pre-compiles the engine for (graphID, kernel) so the first request
+// against that shape pays no alias-table build. A nil kernel warms the
+// uniform engine. Validation runs first, so a kernel the graph rejects
+// (e.g. a dense hopper bank over the memory cap) reports an error instead
+// of panicking inside NewEngine.
+func (s *Server) Warm(graphID string, kernel walk.Kernel) error {
+	kernel = walk.KernelOrUniform(kernel)
+	ge, err := s.resolve(graphID, kernel)
+	if err != nil {
+		return err
+	}
+	s.engineFor(ge, kernel)
+	return nil
 }

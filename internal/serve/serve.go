@@ -361,6 +361,7 @@ func (s *Server) WalkQuery(ctx context.Context, req WalkQueryRequest) (netsim.Qu
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	req.Kernel = walk.KernelOrUniform(req.Kernel)
 	ge, err := s.resolve(req.Graph, req.Kernel)
 	if err != nil {
 		return netsim.QueryResult{}, err
@@ -411,6 +412,7 @@ func (s *Server) HittingTime(ctx context.Context, req HittingTimeRequest) (walk.
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	req.Kernel = walk.KernelOrUniform(req.Kernel)
 	ge, err := s.resolve(req.Graph, req.Kernel)
 	if err != nil {
 		return walk.Estimate{}, err
@@ -475,6 +477,7 @@ func (s *Server) CoverTime(ctx context.Context, req CoverTimeRequest) (walk.Esti
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	req.Kernel = walk.KernelOrUniform(req.Kernel)
 	ge, err := s.resolve(req.Graph, req.Kernel)
 	if err != nil {
 		return walk.Estimate{}, err
@@ -540,6 +543,7 @@ func (s *Server) MeetingTime(ctx context.Context, req MeetingTimeRequest) (walk.
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	req.Kernel = walk.KernelOrUniform(req.Kernel)
 	ge, err := s.resolve(req.Graph, req.Kernel)
 	if err != nil {
 		return walk.Estimate{}, err

@@ -181,6 +181,40 @@ func testServedEstimatesMatchStandalone(t *testing.T, workers int) {
 			})
 		}
 	}
+	// Registry-kernel round: the same bit-for-bit contract must hold for a
+	// dense-compiled hopper kernel sharing the pass with the uniform jobs.
+	hopper, err := walk.ParseKernel("hopper:power:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := graphs["cycle32"]
+	for seed := uint64(1); seed <= 2; seed++ {
+		seed := seed
+		wantHit, err := walk.EstimateKernelHittingTime(cyc, hopper, 0, 16, opts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{
+			run: func() (walk.Estimate, error) {
+				return s.HittingTime(context.Background(), HittingTimeRequest{
+					Graph: "cycle32", Kernel: hopper, Start: 0, Target: 16, Trials: 12, Seed: seed, MaxSteps: 1 << 16,
+				})
+			},
+			want: wantHit,
+		})
+		wantCover, err := walk.EstimateKernelKCoverTime(cyc, hopper, 1, 4, opts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{
+			run: func() (walk.Estimate, error) {
+				return s.CoverTime(context.Background(), CoverTimeRequest{
+					Graph: "cycle32", Kernel: hopper, Start: 1, K: 4, Trials: 12, Seed: seed, MaxSteps: 1 << 16,
+				})
+			},
+			want: wantCover,
+		})
+	}
 	got := make([]walk.Estimate, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -199,6 +233,47 @@ func testServedEstimatesMatchStandalone(t *testing.T, workers int) {
 		if got[i] != jobs[i].want {
 			t.Fatalf("job %d: served %+v != standalone %+v", i, got[i], jobs[i].want)
 		}
+	}
+}
+
+// TestWarmPrecompilesEngines pins Server.Warm: a warmed (graph, kernel)
+// shape serves its first request as an engine-cache hit, a nil kernel warms
+// the uniform engine, and kernels the graph rejects (a dense hopper bank
+// over the compiler's memory cap) error instead of panicking.
+func TestWarmPrecompilesEngines(t *testing.T) {
+	s := newTestServer(t, Options{})
+	hopper, err := walk.ParseKernel("hopper:power:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("cycle32", hopper); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("expander64", nil); err != nil {
+		t.Fatal(err)
+	}
+	misses := s.Stats().EngineMisses
+	if _, err := s.HittingTime(context.Background(), HittingTimeRequest{
+		Graph: "cycle32", Kernel: hopper, Start: 0, Target: 16, Trials: 4, Seed: 1, MaxSteps: 1 << 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WalkQuery(context.Background(), WalkQueryRequest{
+		Graph: "expander64", Origin: 0, K: 1, TTL: 1 << 12, Targets: []int32{40}, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.EngineMisses != misses {
+		t.Fatalf("warmed shapes still compiled on first request: %d -> %d misses", misses, st.EngineMisses)
+	}
+	if err := s.Warm("nope", nil); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown graph: got %v", err)
+	}
+	if err := s.RegisterGraph("bigcycle", graph.Cycle(4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm("bigcycle", hopper); err == nil {
+		t.Fatal("over-cap dense kernel warmed without error")
 	}
 }
 

@@ -153,17 +153,18 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 		// past the stop round, so it prefers short batches.
 		batch, seqBatch = defaultBatchRounds, defaultSeqBatchRounds
 	}
-	prog, err := compileKernel(g, opts.Kernel)
+	kernel := KernelOrUniform(opts.Kernel)
+	prog, err := compileKernel(g, kernel)
 	if err != nil {
 		panic(err.Error())
 	}
-	e := &Engine{g: g, adj: adj, vtx: vtx, workers: workers, kernel: opts.Kernel, prog: prog}
+	e := &Engine{g: g, adj: adj, vtx: vtx, workers: workers, kernel: kernel, prog: prog}
 	// Non-uniform kernels draw fresh entropy every round (group 1), so
 	// only Uniform banks reservoir bits, and only Uniform and Lazy sample
 	// through the padded table.
 	e.group = 1
 	if wantsPadTable(prog.kind) {
-		if prog.kind == KernelUniform {
+		if prog.kind == progUniform {
 			e.group = 2
 		}
 		_, maxDeg := g.DegreeStats()
@@ -186,7 +187,7 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 				}
 			}
 			e.pad, e.padShift = pad, shift
-			if prog.kind == KernelUniform {
+			if prog.kind == progUniform {
 				e.group = 64 / int(shift)
 			}
 		}
@@ -198,10 +199,11 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	return e
 }
 
-// wantsPadTable reports whether a kernel samples uniform neighbors through
-// the padded table; the alias-table and prev-lane kernels never touch it.
-func wantsPadTable(k KernelKind) bool {
-	return k == KernelUniform || k == KernelLazy
+// wantsPadTable reports whether a compiled kernel samples uniform neighbors
+// through the padded table; the alias-table and prev-lane programs never
+// touch it.
+func wantsPadTable(k progKind) bool {
+	return k == progUniform || k == progLazy
 }
 
 // Graph returns the engine's graph.
@@ -512,17 +514,17 @@ func (e *Engine) stepRoundConsumeCSR(st *runState, lo, hi int) {
 // per round per shard, which is noise next to the per-walker stepping work.
 func (e *Engine) stepRound(st *runState, lo, hi int, t int64) {
 	switch e.prog.kind {
-	case KernelLazy:
+	case progLazy:
 		if e.pad != nil {
 			e.stepRoundLazyPad(st, lo, hi)
 		} else {
 			e.stepRoundLazyCSR(st, lo, hi)
 		}
 		return
-	case KernelWeighted, KernelMetropolisUniform:
+	case progAlias:
 		e.stepRoundAlias(st, lo, hi)
 		return
-	case KernelNoBacktrack:
+	case progNoBacktrack:
 		e.stepRoundNoBacktrack(st, lo, hi)
 		return
 	}

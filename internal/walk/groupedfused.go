@@ -59,7 +59,7 @@ type pairTable struct {
 // ids within 16 bits, and table size within the cap.
 func (e *Engine) buildPairTable() {
 	e.pair.once.Do(func() {
-		if e.prog.kind != KernelUniform || e.pad == nil {
+		if e.prog.kind != progUniform || e.pad == nil {
 			return
 		}
 		n := e.g.N()

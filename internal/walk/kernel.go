@@ -3,19 +3,21 @@ package walk
 import (
 	"fmt"
 	"math"
-	"strconv"
-	"strings"
 
 	"manywalks/internal/graph"
 )
 
-// This file defines the WalkKernel abstraction: a Kernel names one of the
-// supported per-step transition laws, and the engine compiles it against a
-// fixed graph into specialized per-vertex sampling tables (see compile at
-// the bottom and the step kernels in engine.go).
+// This file defines the open Kernel abstraction: a Kernel is any per-step
+// transition law the engine can compile against a fixed graph into
+// specialized per-vertex sampling tables (see compileKernel at the bottom
+// and the step kernels in engine.go / kernelstep.go). Kernels are small
+// immutable values registered in the kernel registry (kernelregistry.go),
+// which gives every family a ParseKernel spelling; the engine refuses to
+// compile a kernel whose spelling does not round-trip, because the serving
+// layer keys compiled-engine caches and coalescing buckets on String().
 //
-// The five kernels and their transition laws from vertex v (degree d, edge
-// weights w_i, N(v) the adjacency list):
+// The five built-in kernels and their transition laws from vertex v (degree
+// d, edge weights w_i, N(v) the adjacency list):
 //
 //	Uniform            next ~ Uniform(N(v)) — the paper's simple walk.
 //	Lazy(α)            stay at v with probability α, else Uniform(N(v));
@@ -34,179 +36,227 @@ import (
 //	                   u ~ Uniform(N(v)), accept with min(1, d_v/d_u), else
 //	                   stay. Its stationary distribution is uniform over
 //	                   vertices regardless of the degree sequence.
-type Kernel struct {
-	Kind KernelKind
-	// Alpha is the stay probability of the Lazy kernel, in [0,1); other
-	// kinds ignore it.
-	Alpha float64
-}
+//
+// The first out-of-enum family, the long-range multi-hopper (hopper.go),
+// demonstrates the dense-support path: its rows reach vertices far outside
+// the neighbor list, compiled into a row-bank of alias columns with memory
+// accounting.
 
-// KernelKind enumerates the supported step laws. The zero value is
-// KernelUniform, so a zero EngineOptions still selects the paper's walk.
-type KernelKind uint8
+// Support classifies where a kernel's transition rows live, which selects
+// the compilation strategy.
+type Support uint8
 
 const (
-	KernelUniform KernelKind = iota
-	KernelLazy
-	KernelWeighted
-	KernelNoBacktrack
-	KernelMetropolisUniform
+	// SupportSparse rows stay within the CSR neighbor list plus an optional
+	// stay-at-v outcome: total table size is O(m) and needs no accounting.
+	SupportSparse Support = iota
+	// SupportDense rows may reach out-of-neighborhood vertices (up to n-1
+	// outcomes per vertex); the compiler builds a row-bank of alias columns
+	// under maxDenseKernelBytes. Dense kernels must bound their own table
+	// in Validate (see DenseTableFits) so serving layers can reject
+	// oversized requests instead of panicking in NewEngine.
+	SupportDense
 )
 
-// Uniform returns the simple-random-walk kernel (the default).
-func Uniform() Kernel { return Kernel{Kind: KernelUniform} }
-
-// Lazy returns the lazy walk kernel with stay probability alpha in [0,1).
-func Lazy(alpha float64) Kernel { return Kernel{Kind: KernelLazy, Alpha: alpha} }
-
-// Weighted returns the edge-weight-proportional kernel.
-func Weighted() Kernel { return Kernel{Kind: KernelWeighted} }
-
-// NoBacktrack returns the non-backtracking kernel.
-func NoBacktrack() Kernel { return Kernel{Kind: KernelNoBacktrack} }
-
-// MetropolisUniform returns the Metropolis kernel targeting the uniform
-// distribution.
-func MetropolisUniform() Kernel { return Kernel{Kind: KernelMetropolisUniform} }
-
-// String renders the kernel in the form ParseKernel accepts.
-func (k Kernel) String() string {
-	switch k.Kind {
-	case KernelUniform:
-		return "uniform"
-	case KernelLazy:
-		return fmt.Sprintf("lazy:%g", k.Alpha)
-	case KernelWeighted:
-		return "weighted"
-	case KernelNoBacktrack:
-		return "nobacktrack"
-	case KernelMetropolisUniform:
-		return "metropolis"
-	}
-	return fmt.Sprintf("kernel(%d)", k.Kind)
+// Kernel is a walk step law. Implementations are small immutable values; a
+// new family must be registered with RegisterKernel so its spelling parses,
+// or the engine will refuse to compile it.
+//
+// The contract, checked per-kernel by the conformance suite
+// (kernelconformance_test.go):
+//
+//   - ParseKernel(k.String()) must return a kernel rendering the identical
+//     string (canonical spelling; load-bearing for engine-cache keys,
+//     coalescer buckets, and cluster shape routing).
+//   - TransitionProbs rows must be non-negative and sum to 1 within 1e-12.
+//   - Validate must reject every configuration the compiler would refuse,
+//     including dense tables over the memory cap.
+type Kernel interface {
+	// Name is the registry family name ("uniform", "lazy", "hopper", ...).
+	Name() string
+	// String renders the canonical ParseKernel-able spelling of this
+	// kernel, parameters included.
+	String() string
+	// Validate checks the kernel's parameters against a graph.
+	Validate(g *graph.Graph) error
+	// TransitionProbs returns the kernel's transition distribution out of v
+	// as parallel (vertices, probabilities) slices; a possible stay-at-v
+	// outcome is included explicitly. It is the reference law the alias
+	// compiler, the legacy loops, and markov.ChainForKernel all share, so
+	// the layers cannot drift apart. Kernels that are not Markov chains on
+	// vertices (no-backtrack) return an error.
+	TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error)
+	// Support classifies the rows (sparse neighbor-list vs dense).
+	Support() Support
 }
 
-// Validate checks the kernel parameters against a graph.
-func (k Kernel) Validate(g *graph.Graph) error {
-	switch k.Kind {
-	case KernelUniform, KernelWeighted, KernelNoBacktrack, KernelMetropolisUniform:
-	case KernelLazy:
-		if k.Alpha < 0 || k.Alpha >= 1 || math.IsNaN(k.Alpha) {
-			return fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", k.Alpha)
-		}
-	default:
-		return fmt.Errorf("walk: unknown kernel kind %d", k.Kind)
+// KernelOrUniform normalizes a possibly-nil kernel to the default Uniform
+// law. Every boundary that accepts a caller-supplied Kernel (engine
+// construction, the serving layer's submits, markov chains) funnels through
+// it, so the zero value of any Kernel-carrying options struct still selects
+// the paper's walk.
+func KernelOrUniform(k Kernel) Kernel {
+	if k == nil {
+		return Uniform()
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------------
+// Built-in kernels
+
+type uniformKernel struct{}
+
+// Uniform returns the simple-random-walk kernel (the default).
+func Uniform() Kernel { return uniformKernel{} }
+
+func (uniformKernel) Name() string                { return "uniform" }
+func (uniformKernel) String() string              { return "uniform" }
+func (uniformKernel) Support() Support            { return SupportSparse }
+func (uniformKernel) Validate(*graph.Graph) error { return nil }
+
+func (uniformKernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+	nb, d, err := rowNeighbors(g, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = 1 / float64(d)
+	}
+	return nb, p, nil
+}
+
+type lazyKernel struct {
+	alpha float64
+}
+
+// Lazy returns the lazy walk kernel with stay probability alpha in [0,1).
+func Lazy(alpha float64) Kernel { return lazyKernel{alpha: alpha} }
+
+func (k lazyKernel) Name() string     { return "lazy" }
+func (k lazyKernel) String() string   { return fmt.Sprintf("lazy:%g", k.alpha) }
+func (k lazyKernel) Support() Support { return SupportSparse }
+
+func (k lazyKernel) Validate(*graph.Graph) error {
+	if k.alpha < 0 || k.alpha >= 1 || math.IsNaN(k.alpha) {
+		return fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", k.alpha)
 	}
 	return nil
 }
 
-// ParseKernel parses the -kernel flag syntax: "uniform", "lazy" (α = 1/2),
-// "lazy:α", "weighted", "nobacktrack", "metropolis".
-func ParseKernel(s string) (Kernel, error) {
-	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
-	switch name {
-	case "uniform", "simple", "":
-		return Uniform(), nil
-	case "lazy":
-		alpha := 0.5
-		if hasArg {
-			v, err := strconv.ParseFloat(arg, 64)
-			if err != nil {
-				return Kernel{}, fmt.Errorf("walk: bad lazy parameter %q: %w", arg, err)
-			}
-			alpha = v
-		}
-		if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
-			return Kernel{}, fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", alpha)
-		}
-		return Lazy(alpha), nil
-	case "weighted":
-		return Weighted(), nil
-	case "nobacktrack", "nb":
-		return NoBacktrack(), nil
-	case "metropolis", "metropolis-uniform", "mh":
-		return MetropolisUniform(), nil
-	}
-	return Kernel{}, fmt.Errorf("walk: unknown kernel %q (want uniform, lazy[:α], weighted, nobacktrack, metropolis)", s)
-}
-
-// Kernels lists one representative of every kernel kind, for sweeps and
-// parameterized tests.
-func Kernels() []Kernel {
-	return []Kernel{Uniform(), Lazy(0.5), Weighted(), NoBacktrack(), MetropolisUniform()}
-}
-
-// TransitionProbs returns kernel k's transition distribution out of v as
-// parallel (vertices, probabilities) slices; a possible stay-at-v outcome is
-// included explicitly. It is the reference the alias-table compiler, the
-// legacy loops, and markov.ChainForKernel all share, so the three layers
-// cannot drift apart. NoBacktrack has no vertex-state distribution and
-// returns an error.
-func (k Kernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+func (k lazyKernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
 	if err := k.Validate(g); err != nil {
 		return nil, nil, err
 	}
-	nb := g.Neighbors(v)
-	d := len(nb)
-	if d == 0 {
-		return nil, nil, fmt.Errorf("walk: vertex %d is isolated", v)
+	nb, d, err := rowNeighbors(g, v)
+	if err != nil {
+		return nil, nil, err
 	}
-	switch k.Kind {
-	case KernelUniform:
-		p := make([]float64, d)
-		for i := range p {
-			p[i] = 1 / float64(d)
-		}
-		return nb, p, nil
-	case KernelLazy:
-		out := make([]int32, 0, d+1)
-		p := make([]float64, 0, d+1)
-		move := (1 - k.Alpha) / float64(d)
-		for _, u := range nb {
-			out = append(out, u)
-			p = append(p, move)
-		}
-		if k.Alpha > 0 {
-			out = append(out, v)
-			p = append(p, k.Alpha)
-		}
-		return out, p, nil
-	case KernelWeighted:
-		total := g.WeightedDegree(v)
-		p := make([]float64, d)
-		for i := range p {
-			p[i] = g.EdgeWeight(v, i) / total
-		}
-		return nb, p, nil
-	case KernelMetropolisUniform:
-		out := make([]int32, 0, d+1)
-		p := make([]float64, 0, d+1)
-		propose := 1 / float64(d)
-		stay := 0.0
-		for _, u := range nb {
-			if u == v { // self-loop proposal: trivially accepted
-				stay += propose
-				continue
-			}
-			du := float64(g.Degree(u))
-			acc := 1.0
-			if du > float64(d) {
-				acc = float64(d) / du
-			}
-			out = append(out, u)
-			p = append(p, propose*acc)
-			stay += propose * (1 - acc)
-		}
-		if stay > 1e-15 {
-			out = append(out, v)
-			p = append(p, stay)
-		}
-		return out, p, nil
-	case KernelNoBacktrack:
-		return nil, nil, fmt.Errorf("walk: the no-backtrack kernel is not a Markov chain on vertices (its state is the directed edge)")
+	out := make([]int32, 0, d+1)
+	p := make([]float64, 0, d+1)
+	move := (1 - k.alpha) / float64(d)
+	for _, u := range nb {
+		out = append(out, u)
+		p = append(p, move)
 	}
-	return nil, nil, fmt.Errorf("walk: unknown kernel kind %d", k.Kind)
+	if k.alpha > 0 {
+		out = append(out, v)
+		p = append(p, k.alpha)
+	}
+	return out, p, nil
 }
+
+type weightedKernel struct{}
+
+// Weighted returns the edge-weight-proportional kernel.
+func Weighted() Kernel { return weightedKernel{} }
+
+func (weightedKernel) Name() string                { return "weighted" }
+func (weightedKernel) String() string              { return "weighted" }
+func (weightedKernel) Support() Support            { return SupportSparse }
+func (weightedKernel) Validate(*graph.Graph) error { return nil }
+
+func (weightedKernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+	nb, d, err := rowNeighbors(g, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := g.WeightedDegree(v)
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = g.EdgeWeight(v, i) / total
+	}
+	return nb, p, nil
+}
+
+type noBacktrackKernel struct{}
+
+// NoBacktrack returns the non-backtracking kernel.
+func NoBacktrack() Kernel { return noBacktrackKernel{} }
+
+func (noBacktrackKernel) Name() string                { return "nobacktrack" }
+func (noBacktrackKernel) String() string              { return "nobacktrack" }
+func (noBacktrackKernel) Support() Support            { return SupportSparse }
+func (noBacktrackKernel) Validate(*graph.Graph) error { return nil }
+
+func (noBacktrackKernel) TransitionProbs(*graph.Graph, int32) ([]int32, []float64, error) {
+	return nil, nil, fmt.Errorf("walk: the no-backtrack kernel is not a Markov chain on vertices (its state is the directed edge)")
+}
+
+type metropolisKernel struct{}
+
+// MetropolisUniform returns the Metropolis kernel targeting the uniform
+// distribution.
+func MetropolisUniform() Kernel { return metropolisKernel{} }
+
+func (metropolisKernel) Name() string                { return "metropolis" }
+func (metropolisKernel) String() string              { return "metropolis" }
+func (metropolisKernel) Support() Support            { return SupportSparse }
+func (metropolisKernel) Validate(*graph.Graph) error { return nil }
+
+func (metropolisKernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+	nb, d, err := rowNeighbors(g, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]int32, 0, d+1)
+	p := make([]float64, 0, d+1)
+	propose := 1 / float64(d)
+	stay := 0.0
+	for _, u := range nb {
+		if u == v { // self-loop proposal: trivially accepted
+			stay += propose
+			continue
+		}
+		du := float64(g.Degree(u))
+		acc := 1.0
+		if du > float64(d) {
+			acc = float64(d) / du
+		}
+		out = append(out, u)
+		p = append(p, propose*acc)
+		stay += propose * (1 - acc)
+	}
+	if stay > 1e-15 {
+		out = append(out, v)
+		p = append(p, stay)
+	}
+	return out, p, nil
+}
+
+// rowNeighbors is the shared preamble of every TransitionProbs: the
+// neighbor list and its length, with the isolated-vertex rejection.
+func rowNeighbors(g *graph.Graph, v int32) ([]int32, int, error) {
+	nb := g.Neighbors(v)
+	if len(nb) == 0 {
+		return nil, 0, fmt.Errorf("walk: vertex %d is isolated", v)
+	}
+	return nb, len(nb), nil
+}
+
+// ---------------------------------------------------------------------------
+// Alias-table compilation
 
 // aliasTable is a compiled per-vertex alias sampler: vertex v owns columns
 // [off, off+count) where meta[v] packs off<<32 | count (mirroring the
@@ -224,9 +274,40 @@ type aliasTable struct {
 	thresh []uint32
 }
 
+// bytes reports the table's memory footprint — the accounting the dense
+// row-bank compiler runs against maxDenseKernelBytes.
+func (at *aliasTable) bytes() int64 {
+	return int64(len(at.meta))*8 + int64(len(at.out))*aliasColumnBytes
+}
+
+// aliasColumnBytes is the cost of one alias column: out + alt (int32 each)
+// plus thresh (uint32).
+const aliasColumnBytes = 12
+
+// maxDenseKernelBytes caps the compiled row-bank of a dense-support kernel
+// (128 MiB). A dense row holds up to n-1 columns per vertex, so the bank
+// grows as n² and an uncapped compile could silently eat the machine on a
+// large served graph; sparse kernels are O(m) and never accounted.
+const maxDenseKernelBytes = int64(1) << 27
+
+// DenseTableFits reports whether a worst-case dense kernel table (n-1
+// columns per vertex) on g fits under the compiler's memory cap. Dense
+// kernels call it from Validate so the serving layer rejects oversized
+// graph × kernel requests with an error instead of panicking in NewEngine.
+func DenseTableFits(g *graph.Graph) error {
+	n := int64(g.N())
+	worst := n*8 + n*(n-1)*aliasColumnBytes
+	if worst > maxDenseKernelBytes {
+		return fmt.Errorf("walk: dense kernel table on n=%d needs up to %d MiB, over the %d MiB cap",
+			n, worst>>20, maxDenseKernelBytes>>20)
+	}
+	return nil
+}
+
 // buildAliasTable compiles kernel k's transition law on g into an alias
 // table via Vose's algorithm, run per vertex with index-ordered worklists so
-// compilation is deterministic.
+// compilation is deterministic. It is the sparse-support path: rows are
+// neighbor lists (plus stay), so the table is O(m) and needs no accounting.
 func buildAliasTable(g *graph.Graph, k Kernel) (*aliasTable, error) {
 	n := g.N()
 	at := &aliasTable{meta: make([]uint64, n)}
@@ -235,15 +316,51 @@ func buildAliasTable(g *graph.Graph, k Kernel) (*aliasTable, error) {
 		if err != nil {
 			return nil, err
 		}
-		off := len(at.out)
-		cols := len(outs)
-		at.meta[v] = uint64(uint32(off))<<32 | uint64(uint32(cols))
-		colOut, colAlt, colThresh := voseColumns(outs, probs)
-		at.out = append(at.out, colOut...)
-		at.alt = append(at.alt, colAlt...)
-		at.thresh = append(at.thresh, colThresh...)
+		if err := appendAliasRow(at, v, outs, probs); err != nil {
+			return nil, err
+		}
 	}
 	return at, nil
+}
+
+// buildAliasBank compiles a dense-support kernel into the same alias layout
+// with running memory accounting: compilation stops with a descriptive
+// error the moment the bank would cross maxDenseKernelBytes, instead of
+// allocating n² columns first and failing later.
+func buildAliasBank(g *graph.Graph, k Kernel) (*aliasTable, error) {
+	n := g.N()
+	at := &aliasTable{meta: make([]uint64, n)}
+	budget := maxDenseKernelBytes - int64(n)*8
+	for v := 0; v < n; v++ {
+		outs, probs, err := k.TransitionProbs(g, int32(v))
+		if err != nil {
+			return nil, err
+		}
+		if used := int64(len(at.out)+len(outs)) * aliasColumnBytes; used > budget {
+			return nil, fmt.Errorf("walk: kernel %s row-bank exceeds the %d MiB cap at vertex %d of %d (%d columns so far)",
+				k, maxDenseKernelBytes>>20, v, n, len(at.out))
+		}
+		if err := appendAliasRow(at, v, outs, probs); err != nil {
+			return nil, err
+		}
+	}
+	return at, nil
+}
+
+// appendAliasRow runs Vose's construction for one vertex's row and appends
+// its columns, guarding the uint32 offset packing.
+func appendAliasRow(at *aliasTable, v int, outs []int32, probs []float64) error {
+	off := len(at.out)
+	cols := len(outs)
+	if int64(off) > math.MaxUint32 {
+		return fmt.Errorf("walk: alias table offset overflows uint32 at vertex %d", v)
+	}
+	at.meta[v] = uint64(uint32(off))<<32 | uint64(uint32(cols))
+	colOut, colAlt, colThresh := voseColumns(outs, probs)
+	at.out = append(at.out, colOut...)
+	at.alt = append(at.alt, colAlt...)
+	at.thresh = append(at.thresh, colThresh...)
+	return nil
 }
 
 // voseColumns runs Vose's alias construction for one vertex: K = len(outs)
@@ -301,42 +418,90 @@ func quantize32(p float64) uint32 {
 	return uint32(t)
 }
 
+// ---------------------------------------------------------------------------
+// The kernel compiler
+
+// progKind selects the engine's step strategy for a compiled kernel. It is
+// deliberately internal: the open Kernel interface is the public surface,
+// and every registry kernel without a dedicated fast path compiles to
+// progAlias, inheriting the alias sampler's draw discipline (and so the
+// engine's bit-for-bit determinism) for free.
+type progKind uint8
+
+const (
+	progUniform     progKind = iota // reservoir-banked pad/CSR fast path
+	progLazy                        // stay threshold + uniform fast path
+	progAlias                       // compiled alias table/bank
+	progNoBacktrack                 // prev-lane CSR sampler
+)
+
 // kernelProgram is the engine's compiled form of a kernel: exactly one of
 // the sampling strategies below is active, chosen by kind.
 type kernelProgram struct {
-	kind KernelKind
+	kind progKind
 	// stayThresh is the Lazy kernel's stay decision: stay iff a fresh
 	// 64-bit draw is < stayThresh. Quantizing α to a multiple of 2^-64
 	// loses less than float64 resolution.
 	stayThresh uint64
-	// at is the alias table for Weighted and MetropolisUniform.
+	// at is the alias table of a progAlias kernel (Weighted,
+	// MetropolisUniform, and every registry kernel such as the hoppers).
 	at *aliasTable
 	// needPrev marks kernels whose state includes the previous vertex.
 	needPrev bool
 }
 
 // compileKernel builds the engine's program for kernel k on g. The Uniform
-// kernel returns a trivial program; its sampling uses the engine's padded /
-// CSR fast path unchanged.
+// kernel returns a trivial program (its sampling uses the engine's padded /
+// CSR fast path unchanged); Lazy and NoBacktrack keep their dedicated step
+// kernels; everything else — the built-in alias kernels and every
+// registered family — compiles through TransitionProbs into an alias
+// table, routed by Support() to the sparse path or to the accounted dense
+// row-bank. Kernels whose spelling does not round-trip through ParseKernel
+// are rejected up front: an unparseable spelling could alias distinct laws
+// into one engine-cache entry or coalescer bucket downstream.
 func compileKernel(g *graph.Graph, k Kernel) (kernelProgram, error) {
+	k = KernelOrUniform(k)
 	if err := k.Validate(g); err != nil {
 		return kernelProgram{}, err
 	}
-	prog := kernelProgram{kind: k.Kind}
-	switch k.Kind {
-	case KernelUniform:
-	case KernelLazy:
-		prog.stayThresh = stayThreshold(k.Alpha)
-	case KernelWeighted, KernelMetropolisUniform:
-		at, err := buildAliasTable(g, k)
-		if err != nil {
-			return kernelProgram{}, err
-		}
-		prog.at = at
-	case KernelNoBacktrack:
-		prog.needPrev = true
+	if err := checkKernelRegistered(k); err != nil {
+		return kernelProgram{}, err
 	}
-	return prog, nil
+	switch kk := k.(type) {
+	case uniformKernel:
+		return kernelProgram{kind: progUniform}, nil
+	case lazyKernel:
+		return kernelProgram{kind: progLazy, stayThresh: stayThreshold(kk.alpha)}, nil
+	case noBacktrackKernel:
+		return kernelProgram{kind: progNoBacktrack, needPrev: true}, nil
+	}
+	var at *aliasTable
+	var err error
+	if k.Support() == SupportDense {
+		at, err = buildAliasBank(g, k)
+	} else {
+		at, err = buildAliasTable(g, k)
+	}
+	if err != nil {
+		return kernelProgram{}, err
+	}
+	return kernelProgram{kind: progAlias, at: at}, nil
+}
+
+// checkKernelRegistered enforces the round-trip contract at compile time:
+// ParseKernel(k.String()) must yield a kernel with the identical spelling.
+// This is what guarantees the serving layer's String()-keyed caches and
+// buckets can never alias two distinct laws.
+func checkKernelRegistered(k Kernel) error {
+	s := k.String()
+	back, err := ParseKernel(s)
+	if err != nil {
+		return fmt.Errorf("walk: kernel %q (%T) is not registered: its spelling does not parse back (%v); register the family with RegisterKernel", s, k, err)
+	}
+	if back.String() != s {
+		return fmt.Errorf("walk: kernel %q (%T) does not round-trip: ParseKernel respells it %q", s, k, back.String())
+	}
+	return nil
 }
 
 // stayThreshold converts a stay probability to the 64-bit comparison
@@ -352,4 +517,38 @@ func stayThreshold(alpha float64) uint64 {
 		return math.MaxUint64
 	}
 	return uint64(t)
+}
+
+// KernelTablePlan reports what compiling a kernel against a graph would
+// build — the memory-accounting view cmd/graphinfo surfaces. Producing the
+// plan walks every TransitionProbs row (the same work the compiler does),
+// so it costs one compile, not one allocation.
+type KernelTablePlan struct {
+	Kernel  string // canonical spelling
+	Dense   bool   // routed to the accounted row-bank
+	Rows    int    // vertices with compiled rows (0 for table-free kernels)
+	Columns int64  // total alias columns
+	Bytes   int64  // table footprint in bytes
+	Cap     int64  // memory cap applied (0 when uncapped: sparse or table-free)
+}
+
+// PlanKernelTable computes the compiled-table plan of kernel k on g.
+// Kernels with dedicated step paths (uniform, lazy, no-backtrack) report a
+// table-free plan.
+func PlanKernelTable(g *graph.Graph, k Kernel) (KernelTablePlan, error) {
+	k = KernelOrUniform(k)
+	prog, err := compileKernel(g, k)
+	if err != nil {
+		return KernelTablePlan{}, err
+	}
+	plan := KernelTablePlan{Kernel: k.String(), Dense: k.Support() == SupportDense}
+	if plan.Dense {
+		plan.Cap = maxDenseKernelBytes
+	}
+	if prog.at != nil {
+		plan.Rows = len(prog.at.meta)
+		plan.Columns = int64(len(prog.at.out))
+		plan.Bytes = prog.at.bytes()
+	}
+	return plan, nil
 }

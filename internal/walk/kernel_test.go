@@ -2,6 +2,7 @@ package walk
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"manywalks/internal/graph"
@@ -18,15 +19,20 @@ func kernelTestWeights(u, v int32) float64 {
 
 func TestParseKernel(t *testing.T) {
 	cases := map[string]Kernel{
-		"uniform":     Uniform(),
-		"":            Uniform(),
-		"lazy":        Lazy(0.5),
-		"lazy:0.25":   Lazy(0.25),
-		"weighted":    Weighted(),
-		"nobacktrack": NoBacktrack(),
-		"nb":          NoBacktrack(),
-		"metropolis":  MetropolisUniform(),
-		"mh":          MetropolisUniform(),
+		"uniform":          Uniform(),
+		"":                 Uniform(),
+		"lazy":             Lazy(0.5),
+		"lazy:0.25":        Lazy(0.25),
+		"weighted":         Weighted(),
+		"nobacktrack":      NoBacktrack(),
+		"nb":               NoBacktrack(),
+		"metropolis":       MetropolisUniform(),
+		"mh":               MetropolisUniform(),
+		"hopper:power":     HopperPower(1),
+		"hopper:power:2":   HopperPower(2),
+		"hopper:exp":       HopperExp(1),
+		"hopper:exp:0.5":   HopperExp(0.5),
+		"HOPPER:POWER:1.5": HopperPower(1.5),
 	}
 	for in, want := range cases {
 		got, err := ParseKernel(in)
@@ -40,7 +46,11 @@ func TestParseKernel(t *testing.T) {
 			t.Fatalf("kernel %s does not round-trip through ParseKernel: %+v, %v", k, back, err)
 		}
 	}
-	for _, bad := range []string{"levy", "lazy:1", "lazy:-0.1", "lazy:x", "lazy:NaN"} {
+	for _, bad := range []string{
+		"levy", "lazy:1", "lazy:-0.1", "lazy:x", "lazy:NaN",
+		"hopper", "hopper:", "hopper:levy", "hopper:power:-1", "hopper:power:x",
+		"hopper:exp:NaN", "hopper:exp:+Inf", "uniform:0.5", "weighted:2",
+	} {
 		if _, err := ParseKernel(bad); err == nil {
 			t.Fatalf("ParseKernel(%q) should fail", bad)
 		}
@@ -50,7 +60,7 @@ func TestParseKernel(t *testing.T) {
 func TestTransitionProbsStochastic(t *testing.T) {
 	g := graph.Reweight(graph.Lollipop(6, 4), kernelTestWeights)
 	for _, k := range Kernels() {
-		if k.Kind == KernelNoBacktrack {
+		if k.Name() == "nobacktrack" {
 			if _, _, err := k.TransitionProbs(g, 0); err == nil {
 				t.Fatal("no-backtrack must not offer a vertex-space law")
 			}
@@ -134,24 +144,23 @@ func TestAliasTableMatchesTransitionProbs(t *testing.T) {
 func replayKernelWalk(t *testing.T, e *Engine, start int32, seed uint64, w int, horizon int64) []int32 {
 	t.Helper()
 	g := e.Graph()
-	k := e.Kernel()
-	if k.Kind == KernelUniform {
+	if e.prog.kind == progUniform {
 		return replayWalk(t, e, start, seed, w, horizon)
 	}
 	s := rng.NewStream(seed, uint64(w))
 	pos, prev := start, int32(-1)
 	traj := make([]int32, horizon)
 	stayThresh := uint64(0)
-	if k.Kind == KernelLazy && k.Alpha > 0 {
-		stayThresh = uint64(math.Ldexp(k.Alpha, 64))
+	if lk, ok := e.Kernel().(lazyKernel); ok && lk.alpha > 0 {
+		stayThresh = uint64(math.Ldexp(lk.alpha, 64))
 	}
 	shift := uint(e.padShift)
 	stride := 1 << shift
 	for tt := int64(1); tt <= horizon; tt++ {
 		nb := g.Neighbors(pos)
 		deg := len(nb)
-		switch k.Kind {
-		case KernelLazy:
+		switch e.prog.kind {
+		case progLazy:
 			if s.Uint64() >= stayThresh { // move
 				if e.pad != nil {
 					filled := (stride / deg) * deg
@@ -172,7 +181,7 @@ func replayKernelWalk(t *testing.T, e *Engine, start int32, seed uint64, w int, 
 					}
 				}
 			}
-		case KernelWeighted, KernelMetropolisUniform:
+		case progAlias: // weighted, metropolis, hopper, any registry kernel
 			at := e.prog.at
 			meta := at.meta[pos]
 			cnt := uint32(meta)
@@ -188,7 +197,7 @@ func replayKernelWalk(t *testing.T, e *Engine, start int32, seed uint64, w int, 
 			} else {
 				pos = at.alt[slot]
 			}
-		case KernelNoBacktrack:
+		case progNoBacktrack:
 			switch {
 			case deg == 1:
 				prev, pos = pos, nb[0]
@@ -253,6 +262,12 @@ func TestEngineKernelMatchesReplay(t *testing.T) {
 	}
 	for name, g := range graphs {
 		for _, k := range Kernels() {
+			if k.Support() == SupportDense && g.N() > 1024 {
+				// Dense compiles run one BFS per vertex: fine on the small
+				// graphs, pointless on complete:2048, which exists only to
+				// force the lazy kernel off the padded table.
+				continue
+			}
 			eng := NewEngine(g, EngineOptions{Workers: 1, Kernel: k})
 			starts := []int32{0, 1, int32(g.N() / 2), 1}
 			const seed, horizon = 77, 300
@@ -380,5 +395,43 @@ func TestEngineKernelPanics(t *testing.T) {
 	}
 	expectPanic("lazy alpha 1", func() { NewEngine(g, EngineOptions{Kernel: Lazy(1)}) })
 	expectPanic("lazy alpha negative", func() { NewEngine(g, EngineOptions{Kernel: Lazy(-0.1)}) })
-	expectPanic("unknown kind", func() { NewEngine(g, EngineOptions{Kernel: Kernel{Kind: KernelKind(99)}}) })
+	expectPanic("hopper negative decay", func() { NewEngine(g, EngineOptions{Kernel: HopperPower(-1)}) })
+	expectPanic("unregistered kernel", func() { NewEngine(g, EngineOptions{Kernel: rogueKernel{}}) })
+}
+
+// rogueKernel implements Kernel but is never registered, so its spelling
+// cannot round-trip through ParseKernel.
+type rogueKernel struct{}
+
+func (rogueKernel) Name() string                { return "rogue" }
+func (rogueKernel) String() string              { return "rogue" }
+func (rogueKernel) Support() Support            { return SupportSparse }
+func (rogueKernel) Validate(*graph.Graph) error { return nil }
+func (rogueKernel) TransitionProbs(g *graph.Graph, v int32) ([]int32, []float64, error) {
+	return uniformKernel{}.TransitionProbs(g, v)
+}
+
+// TestUnregisteredKernelRejected is the regression test for the round-trip
+// bugfix: the closed enum's String() used to fall back to a "kernel(%d)"
+// spelling ParseKernel could not read, which under shape canonicalization
+// could alias distinct laws into one coalescer bucket. Compilation must now
+// reject any kernel whose spelling does not round-trip, with an error that
+// says how to fix it.
+func TestUnregisteredKernelRejected(t *testing.T) {
+	g := graph.Cycle(6)
+	_, err := compileKernel(g, rogueKernel{})
+	if err == nil {
+		t.Fatal("compiling an unregistered kernel must fail")
+	}
+	for _, want := range []string{"rogue", "not registered", "RegisterKernel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("compile error %q should mention %q", err, want)
+		}
+	}
+	// Every registered kernel must pass the same gate.
+	for _, k := range Kernels() {
+		if err := checkKernelRegistered(k); err != nil {
+			t.Fatalf("registered kernel %s rejected: %v", k, err)
+		}
+	}
 }

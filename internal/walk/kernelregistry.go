@@ -1,0 +1,231 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the kernel registry: the open dispatch table ParseKernel
+// routes through, replacing the closed enum switch the step laws used to
+// live behind. A KernelFamily owns one spelling prefix ("lazy", "hopper",
+// ...) and knows how to parse its parameters; registering a family is all
+// it takes for a new law to flow through every layer — the engine compiles
+// it via TransitionProbs, markov/exact anchor it, the serving stack
+// canonicalizes and routes it by String(), and the CLIs list it under
+// -kernel help.
+
+// KernelFamily describes one registered kernel family.
+type KernelFamily struct {
+	// Name is the canonical family name, the first colon-separated token
+	// of the spelling ("lazy" in "lazy:0.25").
+	Name string
+	// Aliases are alternate names ParseKernel accepts ("nb", "mh", ...).
+	Aliases []string
+	// Syntax is the flag syntax shown in listings, e.g. "lazy[:α]".
+	Syntax string
+	// Doc is the one-line description shown by -kernel help.
+	Doc string
+	// Example is a representative kernel of the family, used by Kernels()
+	// for sweeps and parameterized tests.
+	Example Kernel
+	// Parse builds a kernel from the text after the family name: for
+	// "hopper:power:2", arg is "power:2" and hasArg is true.
+	Parse func(arg string, hasArg bool) (Kernel, error)
+}
+
+var kernelRegistry = struct {
+	sync.RWMutex
+	families []KernelFamily
+	byName   map[string]int // name and aliases -> index into families
+}{byName: make(map[string]int)}
+
+// RegisterKernel adds a kernel family to the registry. It panics on a nil
+// Parse or Example, an empty name, or a name/alias collision — registration
+// runs from init functions, where a loud failure beats a shadowed kernel.
+func RegisterKernel(f KernelFamily) {
+	if f.Name == "" || f.Parse == nil || f.Example == nil {
+		panic("walk: RegisterKernel requires a name, a Parse func, and an Example kernel")
+	}
+	if f.Syntax == "" {
+		f.Syntax = f.Name
+	}
+	kernelRegistry.Lock()
+	defer kernelRegistry.Unlock()
+	names := append([]string{f.Name}, f.Aliases...)
+	for _, name := range names {
+		if _, dup := kernelRegistry.byName[name]; dup {
+			panic(fmt.Sprintf("walk: kernel family %q already registered", name))
+		}
+	}
+	idx := len(kernelRegistry.families)
+	kernelRegistry.families = append(kernelRegistry.families, f)
+	for _, name := range names {
+		kernelRegistry.byName[name] = idx
+	}
+}
+
+// KernelFamilies returns the registered families in registration order
+// (built-ins first, uniform leading).
+func KernelFamilies() []KernelFamily {
+	kernelRegistry.RLock()
+	defer kernelRegistry.RUnlock()
+	out := make([]KernelFamily, len(kernelRegistry.families))
+	copy(out, kernelRegistry.families)
+	return out
+}
+
+// KernelSyntaxes lists every registered family's flag syntax, for error
+// messages and usage strings.
+func KernelSyntaxes() []string {
+	fams := KernelFamilies()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Syntax
+	}
+	return out
+}
+
+// lookupKernelFamily resolves a family by name or alias (nil if absent).
+func lookupKernelFamily(name string) *KernelFamily {
+	kernelRegistry.RLock()
+	defer kernelRegistry.RUnlock()
+	if idx, ok := kernelRegistry.byName[name]; ok {
+		return &kernelRegistry.families[idx]
+	}
+	return nil
+}
+
+// ParseKernel parses the -kernel flag syntax by dispatching on the first
+// colon-separated token: "uniform", "lazy" (α = 1/2), "lazy:α", "weighted",
+// "nobacktrack", "metropolis", "hopper:power[:s]", "hopper:exp[:λ]", plus
+// any family registered by the caller. The empty string is the uniform
+// walk.
+func ParseKernel(s string) (Kernel, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
+	if name == "" {
+		return Uniform(), nil
+	}
+	if f := lookupKernelFamily(name); f != nil {
+		return f.Parse(arg, hasArg)
+	}
+	return nil, fmt.Errorf("walk: unknown kernel %q (registered: %s)", s, strings.Join(KernelSyntaxes(), ", "))
+}
+
+// Kernels lists one representative of every registered family, for sweeps
+// and parameterized tests, in registration order (uniform first).
+func Kernels() []Kernel {
+	fams := KernelFamilies()
+	out := make([]Kernel, len(fams))
+	for i, f := range fams {
+		out[i] = f.Example
+	}
+	return out
+}
+
+// KernelHelp renders the registry as the multi-line listing the CLIs print
+// for "-kernel help".
+func KernelHelp() string {
+	fams := KernelFamilies()
+	width := 0
+	for _, f := range fams {
+		if len(f.Syntax) > width {
+			width = len(f.Syntax)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("registered kernels:\n")
+	for _, f := range fams {
+		fmt.Fprintf(&b, "  %-*s  %s", width, f.Syntax, f.Doc)
+		if len(f.Aliases) > 0 {
+			aliases := append([]string(nil), f.Aliases...)
+			sort.Strings(aliases)
+			fmt.Fprintf(&b, " (aliases: %s)", strings.Join(aliases, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// noArg rejects parameters on parameter-free families, so misspellings like
+// "uniform:0.5" fail loudly instead of silently parsing as the bare kernel.
+func noArg(name, arg string, hasArg bool, k Kernel) (Kernel, error) {
+	if hasArg {
+		return nil, fmt.Errorf("walk: kernel %q takes no parameter, got %q", name, arg)
+	}
+	return k, nil
+}
+
+// init registers the shipped families in a fixed order — built-ins first
+// with uniform leading (sweeps and Kernels()-driven tests rely on it), the
+// hopper family last — instead of per-file init functions, whose run order
+// would follow file names.
+func init() {
+	registerBuiltinKernels()
+	registerHopperKernels()
+}
+
+func registerBuiltinKernels() {
+	RegisterKernel(KernelFamily{
+		Name:    "uniform",
+		Aliases: []string{"simple"},
+		Syntax:  "uniform",
+		Doc:     "simple random walk: next ~ Uniform(N(v)) — the paper's model and the default",
+		Example: Uniform(),
+		Parse: func(arg string, hasArg bool) (Kernel, error) {
+			return noArg("uniform", arg, hasArg, Uniform())
+		},
+	})
+	RegisterKernel(KernelFamily{
+		Name:    "lazy",
+		Syntax:  "lazy[:α]",
+		Doc:     "stay put with probability α (default 0.5), else a uniform step",
+		Example: Lazy(0.5),
+		Parse: func(arg string, hasArg bool) (Kernel, error) {
+			alpha := 0.5
+			if hasArg {
+				v, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					return nil, fmt.Errorf("walk: bad lazy parameter %q: %w", arg, err)
+				}
+				alpha = v
+			}
+			if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+				return nil, fmt.Errorf("walk: lazy stay probability %v must be in [0,1)", alpha)
+			}
+			return Lazy(alpha), nil
+		},
+	})
+	RegisterKernel(KernelFamily{
+		Name:    "weighted",
+		Syntax:  "weighted",
+		Doc:     "step to a neighbor with probability proportional to the edge weight",
+		Example: Weighted(),
+		Parse: func(arg string, hasArg bool) (Kernel, error) {
+			return noArg("weighted", arg, hasArg, Weighted())
+		},
+	})
+	RegisterKernel(KernelFamily{
+		Name:    "nobacktrack",
+		Aliases: []string{"nb"},
+		Syntax:  "nobacktrack",
+		Doc:     "never immediately reverse an edge (degree-1 dead ends excepted)",
+		Example: NoBacktrack(),
+		Parse: func(arg string, hasArg bool) (Kernel, error) {
+			return noArg("nobacktrack", arg, hasArg, NoBacktrack())
+		},
+	})
+	RegisterKernel(KernelFamily{
+		Name:    "metropolis",
+		Aliases: []string{"metropolis-uniform", "mh"},
+		Syntax:  "metropolis",
+		Doc:     "Metropolis–Hastings with uniform target: stationary law uniform over vertices",
+		Example: MetropolisUniform(),
+		Parse: func(arg string, hasArg bool) (Kernel, error) {
+			return noArg("metropolis", arg, hasArg, MetropolisUniform())
+		},
+	})
+}

@@ -16,10 +16,13 @@ package walk
 //	                   slot is not a padding sentinel; CSR mode Lemire-
 //	                   reduces the low 32 bits of fresh Uint64s until
 //	                   accepted.
-//	Weighted /         one draw x per step: the low 32 bits Lemire-reduce
-//	Metropolis         to an alias column (rejection redraws the whole x),
-//	                   the high 32 bits pick the column's primary outcome
-//	                   iff high32 < thresh, else the alias outcome.
+//	Alias kernels      one draw x per step: the low 32 bits Lemire-reduce
+//	(Weighted,         to an alias column (rejection redraws the whole x),
+//	Metropolis, and    the high 32 bits pick the column's primary outcome
+//	every registry     iff high32 < thresh, else the alias outcome. Any
+//	kernel, e.g. the   kernel compiled to progAlias inherits this
+//	hoppers)           discipline, so new families are deterministic by
+//	                   construction.
 //	NoBacktrack        degree-1 vertices move to their only neighbor with
 //	                   no draw. Otherwise one draw x: the low 32 bits
 //	                   Lemire-reduce to [0, d) on the first step (prev
@@ -77,8 +80,9 @@ func (e *Engine) stepRoundLazyCSR(st *runState, lo, hi int) {
 	}
 }
 
-// stepRoundAlias advances one round through the compiled alias table
-// (Weighted and MetropolisUniform kernels).
+// stepRoundAlias advances one round through the compiled alias table — the
+// step path of every progAlias kernel (Weighted, MetropolisUniform, the
+// hoppers, and any registered family without a dedicated fast path).
 func (e *Engine) stepRoundAlias(st *runState, lo, hi int) {
 	at := e.prog.at
 	pos := st.pos[lo:hi]

@@ -32,6 +32,7 @@ type KernelWalker struct {
 // NewKernelWalker places a kernel walker at start. It panics on an invalid
 // kernel or start, mirroring NewWalker.
 func NewKernelWalker(g *graph.Graph, k Kernel, start int32, r *rng.Source) *KernelWalker {
+	k = KernelOrUniform(k)
 	if err := k.Validate(g); err != nil {
 		panic(err.Error())
 	}
@@ -54,19 +55,21 @@ func (w *KernelWalker) Step() int32 {
 }
 
 // kernelStep samples one transition of kernel k from pos (prev is the
-// walker's previous vertex, -1 if none).
+// walker's previous vertex, -1 if none). The built-ins keep their original
+// draw behavior exactly (the weighted golden test pins it); any other
+// registered kernel falls through to the reference-law sampler below.
 func kernelStep(g *graph.Graph, k Kernel, pos, prev int32, r *rng.Source) int32 {
 	nb := g.Neighbors(pos)
 	d := len(nb)
-	switch k.Kind {
-	case KernelUniform:
+	switch kk := k.(type) {
+	case uniformKernel:
 		return nb[r.Intn(d)]
-	case KernelLazy:
-		if r.Float64() < k.Alpha {
+	case lazyKernel:
+		if r.Float64() < kk.alpha {
 			return pos
 		}
 		return nb[r.Intn(d)]
-	case KernelWeighted:
+	case weightedKernel:
 		target := r.Float64() * g.WeightedDegree(pos)
 		acc := 0.0
 		for i, u := range nb {
@@ -76,7 +79,7 @@ func kernelStep(g *graph.Graph, k Kernel, pos, prev int32, r *rng.Source) int32 
 			}
 		}
 		return nb[d-1] // numerical residue: clamp to the last neighbor
-	case KernelNoBacktrack:
+	case noBacktrackKernel:
 		switch {
 		case d == 1:
 			return nb[0]
@@ -89,7 +92,7 @@ func kernelStep(g *graph.Graph, k Kernel, pos, prev int32, r *rng.Source) int32 
 			}
 			return nb[i]
 		}
-	case KernelMetropolisUniform:
+	case metropolisKernel:
 		u := nb[r.Intn(d)]
 		if u == pos {
 			return u // self-loop proposal is trivially accepted
@@ -100,7 +103,23 @@ func kernelStep(g *graph.Graph, k Kernel, pos, prev int32, r *rng.Source) int32 
 		}
 		return pos
 	}
-	panic(fmt.Sprintf("walk: unknown kernel kind %d", k.Kind))
+	// Registry kernels: sample the reference law directly by inverse CDF
+	// over the TransitionProbs row. Recomputing the row per step is the
+	// point — these loops are the statistical baselines the compiled engine
+	// is validated against, so they must not share its tables.
+	outs, probs, err := k.TransitionProbs(g, pos)
+	if err != nil {
+		panic(fmt.Sprintf("walk: kernel %s at %d: %v", k, pos, err))
+	}
+	target := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if target < acc {
+			return outs[i]
+		}
+	}
+	return outs[len(outs)-1] // numerical residue: clamp to the last outcome
 }
 
 // KernelCoverFrom runs one single-walker kernel walk from start until every
@@ -128,6 +147,7 @@ func KernelKCoverFromVertices(g *graph.Graph, k Kernel, starts []int32, r *rng.S
 	if len(starts) == 0 {
 		panic("walk: k-walk requires at least one walker")
 	}
+	k = KernelOrUniform(k)
 	if err := k.Validate(g); err != nil {
 		panic(err.Error())
 	}
@@ -168,6 +188,7 @@ func KernelKHitFromVertices(g *graph.Graph, k Kernel, starts []int32, marked []b
 	if len(marked) != g.N() {
 		panic(fmt.Sprintf("walk: marked length %d != n %d", len(marked), g.N()))
 	}
+	k = KernelOrUniform(k)
 	if err := k.Validate(g); err != nil {
 		panic(err.Error())
 	}
@@ -236,6 +257,7 @@ func EstimateKernelKCoverTime(g *graph.Graph, kern Kernel, start int32, k int, o
 	if k < 1 {
 		return Estimate{}, fmt.Errorf("walk: k must be >= 1")
 	}
+	kern = KernelOrUniform(kern)
 	if err := kern.Validate(g); err != nil {
 		return Estimate{}, err
 	}
@@ -264,6 +286,7 @@ func EstimateKernelKCoverTime(g *graph.Graph, kern Kernel, start int32, k int, o
 // simulation; the kernel cross-validation tests compare it against the
 // absorbing-chain expectation of markov.ChainForKernel.
 func EstimateKernelHittingTime(g *graph.Graph, k Kernel, start, target int32, opts MCOptions) (Estimate, error) {
+	k = KernelOrUniform(k)
 	if err := k.Validate(g); err != nil {
 		return Estimate{}, err
 	}

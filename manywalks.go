@@ -127,10 +127,36 @@ type Engine = walk.Engine
 type EngineOptions = walk.EngineOptions
 
 // Kernel selects a walk step law; the engine compiles it into per-vertex
-// sampling tables. The zero value is the paper's uniform walk. Every
+// sampling tables. A nil Kernel means the paper's uniform walk. Every
 // kernel keeps the engine's bit-for-bit determinism guarantee across
-// Workers/BatchRounds.
+// Workers/BatchRounds. Kernel is an open interface: register new families
+// with RegisterKernel and they flow through ParseKernel, the engine
+// compiler, the Markov/exact cross-checks, and the serving stack without
+// further wiring.
 type Kernel = walk.Kernel
+
+// KernelFamily describes one registered kernel family: its canonical name,
+// flag syntax, and parser. See RegisterKernel.
+type KernelFamily = walk.KernelFamily
+
+// Support classifies where a kernel's transition rows live, selecting the
+// compilation strategy; third-party Kernel implementations return one of
+// the constants below from their Support method.
+type Support = walk.Support
+
+const (
+	// SupportSparse rows place mass only on CSR neighbors plus an optional
+	// stay-at-v outcome; they compile to CSR-shaped alias tables.
+	SupportSparse = walk.SupportSparse
+	// SupportDense rows may place mass on arbitrary vertices; they compile
+	// to the memory-capped dense row bank (bound it in Validate via
+	// DenseTableFits so serving layers reject oversized tables cleanly).
+	SupportDense = walk.SupportDense
+)
+
+// DenseTableFits reports whether a dense kernel's row bank on g fits the
+// compiler's memory cap; dense kernels call it from Validate.
+func DenseTableFits(g *Graph) error { return walk.DenseTableFits(g) }
 
 // UniformKernel is the simple random walk (the paper's model and the
 // default).
@@ -153,11 +179,41 @@ func NoBacktrackKernel() Kernel { return walk.NoBacktrack() }
 // sequence, the natural choice for unbiased sampling workloads.
 func MetropolisKernel() Kernel { return walk.MetropolisUniform() }
 
-// ParseKernel parses the -kernel flag syntax: "uniform", "lazy[:α]",
-// "weighted", "nobacktrack", "metropolis".
+// HopperPowerKernel is the random multi-hopper with a power-law hop
+// length distribution: one step jumps to vertex u with probability
+// proportional to d(v,u)^-s over the BFS graph distance d (Estrada et
+// al.). Small s makes long-range hops common, collapsing cover times on
+// high-diameter graphs. Hopper kernels precompute a dense per-row alias
+// bank, so they are limited to graphs whose bank fits the compiler's
+// memory cap.
+func HopperPowerKernel(s float64) Kernel { return walk.HopperPower(s) }
+
+// HopperExpKernel is the random multi-hopper with an exponential hop
+// length distribution: P(v->u) proportional to exp(-lambda*d(v,u)).
+func HopperExpKernel(lambda float64) Kernel { return walk.HopperExp(lambda) }
+
+// ParseKernel parses the -kernel flag syntax of every registered family:
+// "uniform", "lazy[:α]", "weighted", "nobacktrack", "metropolis",
+// "hopper:law[:param]", plus anything added via RegisterKernel. Every
+// Kernel's String() round-trips through ParseKernel to the canonical
+// spelling.
 func ParseKernel(s string) (Kernel, error) { return walk.ParseKernel(s) }
 
-// AllKernels lists one representative of every kernel kind.
+// RegisterKernel adds a new kernel family to the registry, making its
+// syntax parseable by ParseKernel (and therefore by every -kernel flag and
+// HTTP request field). It panics if the name or an alias is already taken.
+func RegisterKernel(f KernelFamily) { walk.RegisterKernel(f) }
+
+// KernelFamilies lists the registered kernel families in registration
+// order; KernelHelp renders the same listing as the -kernel help text.
+func KernelFamilies() []KernelFamily { return walk.KernelFamilies() }
+
+// KernelHelp returns the human-readable registry listing printed by the
+// CLIs' "-kernel help".
+func KernelHelp() string { return walk.KernelHelp() }
+
+// AllKernels lists one example kernel per registered family, in
+// registration order (uniform first).
 func AllKernels() []Kernel { return walk.Kernels() }
 
 // Reweight returns a weighted copy of g with identical topology where edge
@@ -399,6 +455,19 @@ func OpenGraph(path string) (*Graph, error) { return graph.Open(path) }
 // ParseGraphSpec builds a deterministic graph from a compact
 // "kind:params" spec string such as "hypercube:20" or "margulis:64".
 func ParseGraphSpec(spec string) (*Graph, error) { return graph.ParseSpec(spec) }
+
+// KernelTablePlan reports what compiling a kernel against a graph would
+// build: whether it routes to the dense accounted row bank, the row/column
+// counts, the byte footprint, and the memory cap applied.
+type KernelTablePlan = walk.KernelTablePlan
+
+// PlanKernelTable computes the compiled-table plan of kernel k on g — the
+// capacity-planning view cmd/graphinfo surfaces. It fails exactly when
+// NewEngine would refuse the kernel (e.g. a dense hopper bank over the
+// memory cap).
+func PlanKernelTable(g *Graph, k Kernel) (KernelTablePlan, error) {
+	return walk.PlanKernelTable(g, k)
+}
 
 // PlanPadTable reports whether NewEngine would build the padded sampling
 // table for g — the single-load uniform sampler — without building one.
